@@ -1,0 +1,20 @@
+"""Benchmark harness for the MLCR design-choice ablations (DESIGN.md #5)."""
+
+from repro.experiments import ablations
+
+
+
+def test_ablations(benchmark, scale, emit):
+    result = benchmark.pedantic(
+        ablations.run, kwargs={"scale": scale}, rounds=1, iterations=1
+    )
+    emit(ablations.report(result))
+
+    full = result.row("full").mean_total_startup_s
+    # The full configuration should not be dominated by its ablations --
+    # allow slack because small-budget DQN runs are noisy.
+    for variant in ("no-mask", "mlp", "no-demos"):
+        assert full <= 1.15 * result.row(variant).mean_total_startup_s, variant
+    # All variants must at least stay in the sane band around Greedy.
+    for row in result.rows:
+        assert row.mean_total_startup_s < 1.5 * result.greedy_total_s

@@ -1,0 +1,18 @@
+"""Extension benchmark: global vs per-worker warm-pool sharding."""
+
+from repro.experiments import sharding
+
+
+
+def test_pool_sharding(benchmark, scale, emit):
+    result = benchmark.pedantic(
+        sharding.run, kwargs={"scale": scale}, rounds=1, iterations=1
+    )
+    emit(sharding.report(result))
+
+    # Fragmentation can only hurt: heavily sharded pools are never
+    # meaningfully better than the single global pool.
+    for method in ("LRU", "Greedy-Match"):
+        global_pool = result.row(method, 1).total_startup_s
+        sharded = result.row(method, 8).total_startup_s
+        assert sharded >= 0.95 * global_pool, method

@@ -1,0 +1,23 @@
+"""Benchmark harness for Figure 10: warm resource consumption under Loose."""
+
+from repro.experiments import fig10_memory
+
+
+
+def test_fig10_memory(benchmark, scale, emit):
+    result = benchmark.pedantic(
+        fig10_memory.run, kwargs={"scale": scale}, rounds=1, iterations=1
+    )
+    emit(fig10_memory.report(result))
+
+    # Paper shape: exact-match baselines fill (nearly) the whole pool...
+    for method in ("LRU", "FaasCache", "KeepAlive"):
+        assert result.row(method).pool_utilization > 0.9, method
+    # ...while the multi-level methods do not need to exhaust it, with
+    # Greedy-Match consuming the least.
+    greedy = result.row("Greedy-Match")
+    assert greedy.pool_utilization < 0.9
+    assert greedy.peak_warm_memory_mb <= min(
+        result.row(m).peak_warm_memory_mb
+        for m in ("LRU", "FaasCache", "KeepAlive")
+    )

@@ -1,0 +1,24 @@
+"""Benchmark harness for Figure 11a: HI-Sim vs LO-Sim box charts."""
+
+from repro.experiments import fig11_benchmarks
+from repro.experiments.fig8_overall import METHOD_ORDER
+
+
+
+def test_fig11a_similarity(benchmark, scale, emit):
+    result = benchmark.pedantic(
+        fig11_benchmarks.run_subfigure,
+        args=("a:similarity",),
+        kwargs={"scale": scale},
+        rounds=1, iterations=1,
+    )
+    emit(fig11_benchmarks.report(result))
+
+    # Paper shape: every method does better on HI-Sim than on LO-Sim.
+    for method in METHOD_ORDER:
+        assert result.mean_of("HI-Sim", method) < result.mean_of(
+            "LO-Sim", method
+        ), method
+    # MLCR is competitive with the best method on the hard (LO-Sim) side.
+    lo_means = {m: result.mean_of("LO-Sim", m) for m in METHOD_ORDER}
+    assert lo_means["MLCR"] <= 1.10 * min(lo_means.values())

@@ -1,0 +1,24 @@
+"""Benchmark harness for Figure 11b: LO-Var vs HI-Var box charts."""
+
+from repro.experiments import fig11_benchmarks
+from repro.experiments.fig8_overall import METHOD_ORDER
+
+
+
+def test_fig11b_variance(benchmark, scale, emit):
+    result = benchmark.pedantic(
+        fig11_benchmarks.run_subfigure,
+        args=("b:variance",),
+        kwargs={"scale": scale},
+        rounds=1, iterations=1,
+    )
+    emit(fig11_benchmarks.report(result))
+
+    # Paper shape: low package-size variance is easier for every method.
+    for method in METHOD_ORDER:
+        assert result.mean_of("LO-Var", method) < result.mean_of(
+            "HI-Var", method
+        ), method
+    # MLCR is competitive with the best method under HI-Var (the hard case).
+    hi_means = {m: result.mean_of("HI-Var", m) for m in METHOD_ORDER}
+    assert hi_means["MLCR"] <= 1.10 * min(hi_means.values())

@@ -1,0 +1,13 @@
+"""Benchmark harness for Figure 1: C-style vs W-style reuse breakdowns."""
+
+from repro.experiments import fig1_breakdown
+
+
+
+def test_fig1_breakdown(benchmark, emit):
+    result = benchmark.pedantic(fig1_breakdown.run, rounds=3, iterations=1)
+    emit(fig1_breakdown.report(result))
+    # Paper shape: W accelerates startup (up to 14x in the paper's setup).
+    assert result.max_speedup > 3.0
+    for label in result.cold:
+        assert result.warm[label].total_s < result.cold[label].total_s

@@ -1,0 +1,11 @@
+"""Benchmark harness for Figure 2: greedy vs globally-planned reuse."""
+
+from repro.experiments import fig2_motivation
+
+
+
+def test_fig2_motivation(benchmark, emit):
+    result = benchmark.pedantic(fig2_motivation.run, rounds=3, iterations=1)
+    emit(fig2_motivation.report(result))
+    # Paper shape: the best-effort policy is strictly worse in total.
+    assert result.greedy_is_suboptimal

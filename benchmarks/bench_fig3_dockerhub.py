@@ -1,0 +1,11 @@
+"""Benchmark harness for Figure 3: Docker Hub popularity concentration."""
+
+from repro.experiments import fig3_dockerhub
+
+
+
+def test_fig3_dockerhub(benchmark, emit):
+    result = benchmark.pedantic(fig3_dockerhub.run, rounds=3, iterations=1)
+    emit(fig3_dockerhub.report(result))
+    # Paper headline: top-4 base images hold ~77 % of base-image pulls.
+    assert 0.70 <= result.top4_base_share <= 0.84

@@ -1,0 +1,35 @@
+"""Benchmark harness for Figure 8: overall latency & cold starts.
+
+Five methods x {Tight, Moderate, Loose} on the 400-invocation overall mix.
+Trains MLCR once per pool size (cached for the session).
+"""
+
+from repro.experiments import fig8_overall
+
+
+
+def test_fig8_overall(benchmark, scale, emit):
+    result = benchmark.pedantic(
+        fig8_overall.run, kwargs={"scale": scale}, rounds=1, iterations=1
+    )
+    emit(fig8_overall.report(result))
+
+    # Shape 1: everyone improves as the pool grows.
+    for method in fig8_overall.METHOD_ORDER:
+        tight = result.cell(method, "Tight").total_startup_s
+        loose = result.cell(method, "Loose").total_startup_s
+        assert loose < tight, method
+
+    # Shape 2: multi-level methods have the fewest cold starts.
+    for pool in result.capacities:
+        greedy_cold = result.cell("Greedy-Match", pool).cold_starts
+        lru_cold = result.cell("LRU", pool).cold_starts
+        assert greedy_cold < lru_cold, pool
+
+    # Shape 3: MLCR wins where warm resources are scarce (the paper's
+    # headline result is largest under Tight).
+    tight_latencies = {
+        m: result.cell(m, "Tight").total_startup_s
+        for m in fig8_overall.METHOD_ORDER
+    }
+    assert tight_latencies["MLCR"] == min(tight_latencies.values())

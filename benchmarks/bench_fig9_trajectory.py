@@ -1,0 +1,20 @@
+"""Benchmark harness for Figure 9: cumulative trajectories, Greedy vs MLCR."""
+
+from repro.experiments import fig9_trajectory
+
+
+
+def test_fig9_trajectory(benchmark, scale, emit):
+    result = benchmark.pedantic(
+        fig9_trajectory.run, kwargs={"scale": scale}, rounds=1, iterations=1
+    )
+    emit(fig9_trajectory.report(result))
+
+    # Series are well-formed cumulative curves over the full workload.
+    assert len(result.greedy_cum_latency) == len(result.mlcr_cum_latency)
+    assert (result.greedy_cum_latency[1:] >=
+            result.greedy_cum_latency[:-1]).all()
+    assert (result.mlcr_cum_latency[1:] >= result.mlcr_cum_latency[:-1]).all()
+    # Paper shape: MLCR's final cumulative latency is not worse than
+    # Greedy-Match's under the Loose pool.
+    assert result.final_gap_s > -0.15 * result.greedy_cum_latency[-1]

@@ -1,0 +1,65 @@
+"""Micro-benchmarks for the substrates (not a paper figure).
+
+Performance sanity checks that keep the simulator and the numpy DRL stack
+fast enough for the experiment suite: simulator event throughput, Table-I
+matching rate, and network forward/backward latency.
+"""
+
+import numpy as np
+
+from repro.cluster.simulator import ClusterSimulator, SimulationConfig
+from repro.containers.matching import match_level
+from repro.drl.network import AttentionQNetwork
+from repro.schedulers.greedy import GreedyMatchScheduler
+from repro.workloads.fstartbench import overall_workload
+from repro.workloads.functions import fstartbench_functions
+
+
+def test_simulator_throughput(benchmark):
+    """End-to-end simulation of 400 invocations under Greedy-Match."""
+    workload = overall_workload(seed=0)
+
+    def run():
+        scheduler = GreedyMatchScheduler()
+        sim = ClusterSimulator(
+            SimulationConfig(pool_capacity_mb=2048.0),
+            scheduler.make_eviction_policy(),
+        )
+        return sim.run(workload, scheduler)
+
+    result = benchmark(run)
+    assert result.telemetry.n_invocations == 400
+    # The experiment suite needs thousands of these: keep one run < 2 s.
+    assert benchmark.stats["mean"] < 2.0
+
+
+def test_match_level_rate(benchmark):
+    """Pairwise Table-I matching over all FStartBench images."""
+    images = [s.image for s in fstartbench_functions()]
+
+    def run():
+        total = 0
+        for a in images:
+            for b in images:
+                total += int(match_level(a, b))
+        return total
+
+    benchmark(run)
+    assert benchmark.stats["mean"] < 0.01
+
+
+def test_qnetwork_forward_backward(benchmark):
+    """One training-step-sized forward+backward of the Fig. 7 network."""
+    rng = np.random.default_rng(0)
+    net = AttentionQNetwork(global_dim=40, slot_dim=12, n_slots=12, rng=rng,
+                            model_dim=32, head_hidden=32)
+    x = rng.normal(size=(32, net.state_dim))
+    grad = rng.normal(size=(32, net.action_dim))
+
+    def step():
+        net.zero_grad()
+        net.forward(x)
+        net.backward(grad)
+
+    benchmark(step)
+    assert benchmark.stats["mean"] < 0.1

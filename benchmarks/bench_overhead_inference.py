@@ -1,0 +1,34 @@
+"""Benchmark harness for Section VI-D: scheduling-decision overhead."""
+
+import numpy as np
+
+from repro.experiments import overhead
+from repro.experiments.common import pool_sizes, train_mlcr_for
+from repro.workloads.fstartbench import overall_workload
+
+
+
+def test_overhead_report(benchmark, scale, emit):
+    result = benchmark.pedantic(
+        overhead.run, kwargs={"scale": scale}, rounds=1, iterations=1
+    )
+    emit(overhead.report(result))
+    # Paper: inference is a few milliseconds; CPU numpy stays in the same
+    # order of magnitude and far below typical startup savings.
+    assert result.mean_decision_ms < 50.0
+    assert result.decisions == 400
+
+
+def test_policy_inference_microbenchmark(benchmark, scale, emit):
+    """Raw per-decision latency of the trained policy (paper: 3-4 ms)."""
+    workload = overall_workload(seed=0)
+    capacity = pool_sizes(workload)["Tight"]
+    mlcr = train_mlcr_for(
+        "Overall", lambda s: overall_workload(seed=s), capacity, scale
+    )
+    state = np.zeros(mlcr.agent.online.state_dim)
+    mask = np.ones(mlcr.agent.action_dim, dtype=bool)
+
+    benchmark(mlcr.agent.act, state, mask, 0.0)
+    # One forward pass of the attention network on CPU should be sub-10ms.
+    assert benchmark.stats["mean"] < 0.05

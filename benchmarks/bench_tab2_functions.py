@@ -1,0 +1,13 @@
+"""Benchmark harness for Table II: the FStartBench function inventory."""
+
+from repro.experiments import tab2_functions
+
+
+
+def test_tab2_functions(benchmark, emit):
+    result = benchmark.pedantic(tab2_functions.run, rounds=3, iterations=1)
+    emit(tab2_functions.report(result))
+    assert len(result.rows) == 13
+    # Paper band: cold start is 1.3x-166x the execution time.
+    assert result.min_ratio >= 1.2
+    assert result.max_ratio <= 170

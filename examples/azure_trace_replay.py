@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Replay a synthetic Azure-like production trace through the simulator.
+
+Demonstrates the workload-generation substrate beyond FStartBench: a trace
+with Zipf-skewed function popularity (~19 % of functions invoked exactly
+once, >40 % at most twice -- the statistics the paper cites to motivate
+cross-function reuse), bursty arrivals, and randomly composed three-level
+images.  Multi-level matching shines here precisely because most functions
+are too rare for same-function keep-alive to ever hit.
+
+Usage::
+
+    python examples/azure_trace_replay.py [--functions N] [--invocations N]
+        [--burstiness B] [--seed N]
+"""
+
+import argparse
+
+from repro import ClusterSimulator, SimulationConfig
+from repro.analysis.report import ascii_table
+from repro.experiments.common import pool_sizes
+from repro.schedulers import GreedyMatchScheduler, KeepAliveScheduler, LRUScheduler
+from repro.workloads.azure import AzureTraceConfig, AzureTraceGenerator
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--functions", type=int, default=60)
+    parser.add_argument("--invocations", type=int, default=600)
+    parser.add_argument("--burstiness", type=float, default=0.5)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    generator = AzureTraceGenerator(AzureTraceConfig(
+        n_functions=args.functions,
+        n_invocations=args.invocations,
+        burstiness=args.burstiness,
+    ))
+    trace = generator.generate(seed=args.seed)
+    stats = generator.trace_statistics(trace)
+    print(
+        f"trace: {len(trace)} invocations of {args.functions} functions; "
+        f"{stats['frac_invoked_once']:.0%} invoked once, "
+        f"{stats['frac_invoked_le2']:.0%} invoked <= 2 times, "
+        f"hottest function {stats['max_invocations']:.0f} invocations"
+    )
+    print(f"mean pairwise image similarity: "
+          f"{trace.metadata['similarity']:.2f}\n")
+
+    capacity = pool_sizes(trace)["Tight"]
+    rows = []
+    for scheduler in (KeepAliveScheduler(), LRUScheduler(),
+                      GreedyMatchScheduler()):
+        sim = ClusterSimulator(
+            SimulationConfig(pool_capacity_mb=capacity),
+            scheduler.make_eviction_policy(),
+        )
+        t = sim.run(trace, scheduler).telemetry
+        hist = t.match_histogram()
+        rows.append([
+            scheduler.name,
+            f"{t.total_startup_latency_s:.1f}",
+            str(t.cold_starts),
+            str(hist[list(hist)[1]] + hist[list(hist)[2]]),  # L1+L2 reuses
+            str(hist[list(hist)[3]]),                         # L3 reuses
+        ])
+
+    print(ascii_table(
+        ["policy", "total startup [s]", "cold", "partial reuse (L1+L2)",
+         "full reuse (L3)"],
+        rows,
+        title=f"Azure-like trace, Tight pool ({capacity:.0f} MB)",
+    ))
+    print("\nWith mostly-rare functions, exact-match policies rarely find a "
+          "warm hit;\nmulti-level matching recovers reuse from *similar* "
+          "containers instead.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""Online fine-tuning: adapting a trained MLCR policy to workload drift.
+
+Trains an MLCR policy offline on the Overall workload family, then deploys
+it on a *different* family (HI-Sim) two ways: frozen, and with online
+fine-tuning enabled (Section VI-C/D: "the DRL model also supports online
+fine-tuning to adjust model parameters").
+
+Usage::
+
+    python examples/online_adaptation.py [--episodes N] [--target HI-Sim]
+"""
+
+import argparse
+import copy
+
+from repro import SimulationConfig
+from repro.analysis.report import ascii_table
+from repro.core.finetune import OnlineFineTuner
+from repro.core.mlcr import train_mlcr_scheduler
+from repro.experiments.common import (
+    ExperimentScale,
+    evaluate_scheduler,
+    make_training_factory,
+    pool_sizes,
+)
+from repro.workloads.fstartbench import WORKLOAD_BUILDERS, overall_workload
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--episodes", type=int, default=10)
+    parser.add_argument("--target", default="HI-Sim",
+                        choices=sorted(WORKLOAD_BUILDERS))
+    parser.add_argument("--eval-seeds", type=int, default=2)
+    args = parser.parse_args()
+
+    scale = ExperimentScale.from_env()
+    source_capacity = pool_sizes(overall_workload(seed=0))["Tight"]
+    config = scale.mlcr_config()
+    from dataclasses import replace
+
+    config = replace(config, n_episodes=args.episodes)
+
+    print(f"offline training on Overall@Tight ({source_capacity:.0f} MB), "
+          f"{args.episodes} episodes...")
+    scheduler, history = train_mlcr_scheduler(
+        workload_factory=make_training_factory(
+            lambda s: overall_workload(seed=s), scale
+        ),
+        sim_config=SimulationConfig(pool_capacity_mb=source_capacity),
+        config=config,
+    )
+    print(f"best validation latency: {history.best_eval_latency:.1f}s\n")
+
+    target_builder = WORKLOAD_BUILDERS[args.target]
+    target_capacity = pool_sizes(target_builder(seed=0))["Tight"]
+    frozen = copy.deepcopy(scheduler)
+    tuned = OnlineFineTuner(scheduler, epsilon=0.05, updates_per_decision=2)
+
+    rows = []
+    for label, policy in (("frozen", frozen), ("online fine-tuned", tuned)):
+        totals, colds = [], []
+        for seed in range(args.eval_seeds):
+            res = evaluate_scheduler(
+                policy, target_builder(seed=seed), target_capacity, "Tight"
+            )
+            totals.append(res.total_startup_s)
+            colds.append(res.cold_starts)
+        rows.append([
+            label,
+            f"{sum(totals) / len(totals):.1f}",
+            f"{sum(colds) / len(colds):.1f}",
+        ])
+
+    print(ascii_table(
+        ["deployment", "total startup [s]", "cold starts"],
+        rows,
+        title=(f"drifted deployment: Overall-trained policy on "
+               f"{args.target}@Tight ({target_capacity:.0f} MB)"),
+    ))
+    print(f"\nonline updates applied: {tuned.updates}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Quickstart: simulate a serverless platform and compare warm-start policies.
+
+Runs the FStartBench "Overall" workload (400 invocations of all 13 Table-II
+functions) through the cluster simulator under four classic policies, then
+prints a comparison table.  No DRL training involved -- see
+``train_mlcr.py`` for the full MLCR pipeline.
+
+Usage::
+
+    python examples/quickstart.py [--seed N] [--pool tight|moderate|loose]
+"""
+
+import argparse
+
+from repro import ClusterSimulator, SimulationConfig
+from repro.analysis.report import ascii_table
+from repro.experiments.common import pool_sizes
+from repro.schedulers import (
+    ColdOnlyScheduler,
+    FaasCacheScheduler,
+    GreedyMatchScheduler,
+    KeepAliveScheduler,
+    LRUScheduler,
+)
+from repro.workloads import overall_workload
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--pool", choices=["tight", "moderate", "loose"],
+                        default="tight")
+    args = parser.parse_args()
+
+    workload = overall_workload(seed=args.seed)
+    sizes = pool_sizes(workload)
+    capacity = sizes[args.pool.capitalize()]
+    print(f"workload: {len(workload)} invocations over "
+          f"{workload.duration_s:.0f}s; warm pool: {args.pool} "
+          f"({capacity:.0f} MB)\n")
+
+    rows = []
+    for scheduler in (
+        ColdOnlyScheduler(),
+        KeepAliveScheduler(),
+        LRUScheduler(),
+        FaasCacheScheduler(),
+        GreedyMatchScheduler(),
+    ):
+        eviction = (
+            scheduler.make_eviction_policy()
+            if hasattr(scheduler, "make_eviction_policy")
+            else None
+        )
+        sim = ClusterSimulator(
+            SimulationConfig(pool_capacity_mb=capacity), eviction
+        )
+        t = sim.run(workload, scheduler).telemetry
+        rows.append([
+            scheduler.name,
+            f"{t.total_startup_latency_s:.1f}",
+            f"{t.mean_startup_latency_s * 1e3:.0f}",
+            str(t.cold_starts),
+            str(t.warm_starts),
+            f"{t.peak_warm_memory_mb:.0f}",
+        ])
+
+    print(ascii_table(
+        ["policy", "total startup [s]", "mean [ms]", "cold", "warm",
+         "peak warm MB"],
+        rows,
+        title="Warm-start policy comparison",
+    ))
+    print("\nMulti-level matching (Greedy-Match) converts cold starts into "
+          "warm ones;\nthe DRL scheduler (see train_mlcr.py) decides *when* "
+          "that pays off.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,22 @@
+"""Analysis utilities: statistics, box-chart summaries and ASCII reports."""
+
+from repro.analysis.stats import (
+    BoxStats,
+    box_stats,
+    mean_confidence_interval,
+    reduction_pct,
+)
+from repro.analysis.report import ascii_bar_chart, ascii_table, format_seconds
+from repro.analysis.breakdown import breakdown_rows, breakdown_table
+
+__all__ = [
+    "BoxStats",
+    "box_stats",
+    "mean_confidence_interval",
+    "reduction_pct",
+    "ascii_table",
+    "ascii_bar_chart",
+    "format_seconds",
+    "breakdown_rows",
+    "breakdown_table",
+]

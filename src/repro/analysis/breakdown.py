@@ -1,0 +1,42 @@
+"""Startup-breakdown rendering (the Fig. 1 stacked bars, as a table)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.analysis.report import ascii_table
+from repro.containers.costmodel import StartupBreakdown, StartupPhase
+
+_PHASES = [
+    StartupPhase.CREATE,
+    StartupPhase.CLEAN,
+    StartupPhase.PULL,
+    StartupPhase.INSTALL,
+    StartupPhase.RUNTIME_INIT,
+    StartupPhase.FUNCTION_INIT,
+]
+
+
+def breakdown_rows(
+    breakdowns: Dict[str, StartupBreakdown]
+) -> List[Tuple[str, ...]]:
+    """One row per labeled breakdown: phases + total, in seconds."""
+    rows: List[Tuple[str, ...]] = []
+    for label, bd in breakdowns.items():
+        phases = bd.as_dict()
+        rows.append(
+            (
+                label,
+                *(f"{phases[p]:.2f}" for p in _PHASES),
+                f"{bd.total_s:.2f}",
+            )
+        )
+    return rows
+
+
+def breakdown_table(
+    breakdowns: Dict[str, StartupBreakdown], title: str = ""
+) -> str:
+    """Render labeled breakdowns as a phase-by-phase ASCII table."""
+    headers = ["start", *(p.value for p in _PHASES), "total"]
+    return ascii_table(headers, breakdown_rows(breakdowns), title=title)

@@ -1,0 +1,105 @@
+"""Training-curve analysis for DRL runs.
+
+Summaries of :class:`~repro.core.trainer.TrainingHistory` curves: smoothing,
+improvement statistics, convergence detection and curve stability -- the
+quantities the ablation discussion cites (e.g. "the mask accelerates
+convergence", paper Section IV-C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+def moving_average(values: Sequence[float], window: int = 5) -> np.ndarray:
+    """Centered-left moving average (partial windows at the start)."""
+    if window < 1:
+        raise ValueError("window must be >= 1")
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        return arr
+    out = np.empty_like(arr)
+    cumulative = np.cumsum(arr)
+    for i in range(arr.size):
+        lo = max(0, i - window + 1)
+        total = cumulative[i] - (cumulative[lo - 1] if lo > 0 else 0.0)
+        out[i] = total / (i - lo + 1)
+    return out
+
+
+@dataclass(frozen=True)
+class ConvergenceSummary:
+    """Scalar description of one training curve (lower-is-better metric)."""
+
+    first: float
+    last: float
+    best: float
+    improvement_pct: float        # first -> last, positive = improved
+    convergence_episode: int      # first episode within tolerance of best
+    stability: float              # std of the last third / |mean| of it
+
+    @property
+    def converged(self) -> bool:
+        return self.convergence_episode >= 0
+
+
+def summarize_curve(
+    values: Sequence[float], window: int = 3, tolerance: float = 0.05
+) -> ConvergenceSummary:
+    """Summarize a lower-is-better training curve (e.g. episode latency).
+
+    ``convergence_episode`` is the first episode whose smoothed value is
+    within ``tolerance`` (relative) of the smoothed minimum; ``-1`` when the
+    curve never stabilizes (fewer than two points).
+    """
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("empty curve")
+    smooth = moving_average(arr, window)
+    best = float(smooth.min())
+    threshold = best * (1.0 + tolerance)
+    within = np.flatnonzero(smooth <= threshold)
+    convergence = int(within[0]) if within.size else -1
+
+    tail = arr[-max(1, arr.size // 3):]
+    mean_tail = float(np.mean(tail))
+    stability = float(np.std(tail) / abs(mean_tail)) if mean_tail else 0.0
+    first, last = float(arr[0]), float(arr[-1])
+    improvement = 100.0 * (first - last) / first if first else 0.0
+    return ConvergenceSummary(
+        first=first,
+        last=last,
+        best=float(arr.min()),
+        improvement_pct=improvement,
+        convergence_episode=convergence,
+        stability=stability,
+    )
+
+
+def compare_curves(
+    curves: dict, window: int = 3, tolerance: float = 0.05
+) -> str:
+    """ASCII comparison of several labeled training curves."""
+    from repro.analysis.report import ascii_table
+
+    rows = []
+    for label, values in curves.items():
+        s = summarize_curve(values, window, tolerance)
+        rows.append([
+            label,
+            f"{s.first:.1f}",
+            f"{s.last:.1f}",
+            f"{s.best:.1f}",
+            f"{s.improvement_pct:+.1f}%",
+            str(s.convergence_episode),
+            f"{s.stability:.3f}",
+        ])
+    return ascii_table(
+        ["curve", "first", "last", "best", "improvement", "conv@ep",
+         "tail std/mean"],
+        rows,
+        title="training-curve comparison",
+    )

@@ -1,0 +1,284 @@
+"""Dependency-free SVG charts for the paper's figures.
+
+matplotlib is not available in every environment this repo targets, so the
+figure files are rendered directly as SVG: grouped bar charts (Fig 8, 10),
+line charts (Fig 9) and box charts (Fig 11).  The goal is readable artifact
+files, not a plotting library -- scales are linear, styling minimal.
+
+All coordinates are computed in floating-point pixels on a fixed canvas;
+output is a plain XML string (validated by the test suite).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple, Union
+from xml.sax.saxutils import escape
+
+from repro.analysis.stats import BoxStats
+
+#: Qualitative palette (colorblind-safe-ish).
+PALETTE = ("#4477aa", "#ee6677", "#228833", "#ccbb44", "#66ccee", "#aa3377")
+
+
+@dataclass
+class _Frame:
+    """Plot geometry: outer canvas and inner data region."""
+
+    width: int = 640
+    height: int = 400
+    margin_left: int = 70
+    margin_right: int = 20
+    margin_top: int = 40
+    margin_bottom: int = 60
+
+    @property
+    def inner_width(self) -> float:
+        return self.width - self.margin_left - self.margin_right
+
+    @property
+    def inner_height(self) -> float:
+        return self.height - self.margin_top - self.margin_bottom
+
+    def x(self, frac: float) -> float:
+        return self.margin_left + frac * self.inner_width
+
+    def y(self, frac: float) -> float:
+        """frac = 0 at the bottom of the data region."""
+        return self.margin_top + (1.0 - frac) * self.inner_height
+
+
+class SvgCanvas:
+    """Accumulates SVG elements and serializes the document."""
+
+    def __init__(self, frame: _Frame, title: str = "") -> None:
+        self.frame = frame
+        self._parts: List[str] = []
+        if title:
+            self.text(frame.width / 2, frame.margin_top / 2, title,
+                      size=14, anchor="middle", bold=True)
+
+    def rect(self, x: float, y: float, w: float, h: float, fill: str,
+             opacity: float = 1.0) -> None:
+        """Add a filled rectangle."""
+        self._parts.append(
+            f'<rect x="{x:.1f}" y="{y:.1f}" width="{w:.1f}" '
+            f'height="{h:.1f}" fill="{fill}" fill-opacity="{opacity}"/>'
+        )
+
+    def line(self, x1: float, y1: float, x2: float, y2: float,
+             stroke: str = "#333", width: float = 1.0) -> None:
+        """Add a line segment."""
+        self._parts.append(
+            f'<line x1="{x1:.1f}" y1="{y1:.1f}" x2="{x2:.1f}" '
+            f'y2="{y2:.1f}" stroke="{stroke}" stroke-width="{width}"/>'
+        )
+
+    def polyline(self, points: Sequence[Tuple[float, float]], stroke: str,
+                 width: float = 2.0) -> None:
+        """Add an unfilled polyline."""
+        coords = " ".join(f"{x:.1f},{y:.1f}" for x, y in points)
+        self._parts.append(
+            f'<polyline points="{coords}" fill="none" stroke="{stroke}" '
+            f'stroke-width="{width}"/>'
+        )
+
+    def text(self, x: float, y: float, content: str, size: int = 11,
+             anchor: str = "start", bold: bool = False,
+             rotate: float = 0.0) -> None:
+        """Add a text label."""
+        weight = ' font-weight="bold"' if bold else ""
+        transform = (
+            f' transform="rotate({rotate:.0f} {x:.1f} {y:.1f})"'
+            if rotate else ""
+        )
+        self._parts.append(
+            f'<text x="{x:.1f}" y="{y:.1f}" font-size="{size}" '
+            f'font-family="sans-serif" text-anchor="{anchor}"'
+            f"{weight}{transform}>{escape(content)}</text>"
+        )
+
+    def to_svg(self) -> str:
+        """Serialize the document to an SVG string."""
+        f = self.frame
+        body = "\n".join(self._parts)
+        return (
+            f'<svg xmlns="http://www.w3.org/2000/svg" width="{f.width}" '
+            f'height="{f.height}" viewBox="0 0 {f.width} {f.height}">\n'
+            f'<rect width="{f.width}" height="{f.height}" fill="white"/>\n'
+            f"{body}\n</svg>\n"
+        )
+
+    def save(self, path: Union[str, Path]) -> Path:
+        """Write the SVG document to ``path``."""
+        path = Path(path)
+        path.write_text(self.to_svg())
+        return path
+
+
+# ---------------------------------------------------------------------------
+# Shared scaffolding
+# ---------------------------------------------------------------------------
+
+def _nice_ticks(peak: float, n: int = 5) -> List[float]:
+    """Round tick positions covering [0, peak]."""
+    if peak <= 0:
+        return [0.0, 1.0]
+    raw = peak / n
+    magnitude = 10 ** int(f"{raw:e}".split("e")[1])
+    for mult in (1, 2, 2.5, 5, 10):
+        step = mult * magnitude
+        if step * n >= peak:
+            break
+    return [i * step for i in range(n + 1)]
+
+
+def _axes(canvas: SvgCanvas, ticks: List[float], y_label: str) -> float:
+    """Draw the y axis with grid lines; returns the axis maximum."""
+    f = canvas.frame
+    top = ticks[-1] or 1.0
+    canvas.line(f.x(0), f.y(0), f.x(1), f.y(0))            # x axis
+    canvas.line(f.x(0), f.y(0), f.x(0), f.y(1))            # y axis
+    for tick in ticks:
+        frac = tick / top
+        canvas.line(f.x(0), f.y(frac), f.x(1), f.y(frac),
+                    stroke="#ddd", width=0.5)
+        canvas.text(f.x(0) - 6, f.y(frac) + 4, f"{tick:g}", anchor="end")
+    canvas.text(14, f.y(0.5), y_label, anchor="middle", rotate=-90)
+    return top
+
+
+def _legend(canvas: SvgCanvas, names: Sequence[str]) -> None:
+    f = canvas.frame
+    x = f.x(0) + 8
+    y = f.margin_top + 6
+    for i, name in enumerate(names):
+        color = PALETTE[i % len(PALETTE)]
+        canvas.rect(x, y + 14 * i, 10, 10, fill=color)
+        canvas.text(x + 14, y + 9 + 14 * i, name)
+
+
+# ---------------------------------------------------------------------------
+# Chart types
+# ---------------------------------------------------------------------------
+
+def grouped_bar_chart(
+    categories: Sequence[str],
+    series: Dict[str, Sequence[float]],
+    title: str = "",
+    y_label: str = "",
+) -> SvgCanvas:
+    """One bar group per category, one colored bar per series (Fig 8/10)."""
+    for name, values in series.items():
+        if len(values) != len(categories):
+            raise ValueError(f"series {name!r} length mismatch")
+    frame = _Frame()
+    canvas = SvgCanvas(frame, title)
+    peak = max((max(v) for v in series.values()), default=1.0)
+    top = _axes(canvas, _nice_ticks(peak), y_label)
+
+    n_cat, n_series = len(categories), len(series)
+    group_width = 1.0 / max(n_cat, 1)
+    bar_frac = 0.8 * group_width / max(n_series, 1)
+    for ci, category in enumerate(categories):
+        center = (ci + 0.5) * group_width
+        canvas.text(frame.x(center), frame.y(0) + 16, category,
+                    anchor="middle")
+        for si, (name, values) in enumerate(series.items()):
+            height_frac = values[ci] / top
+            x0 = center - 0.4 * group_width + si * bar_frac
+            canvas.rect(
+                frame.x(x0),
+                frame.y(height_frac),
+                bar_frac * frame.inner_width,
+                height_frac * frame.inner_height,
+                fill=PALETTE[si % len(PALETTE)],
+            )
+    _legend(canvas, list(series))
+    return canvas
+
+
+def line_chart(
+    x_values: Sequence[float],
+    series: Dict[str, Sequence[float]],
+    title: str = "",
+    x_label: str = "",
+    y_label: str = "",
+) -> SvgCanvas:
+    """Multi-series line chart over shared x values (Fig 9)."""
+    for name, values in series.items():
+        if len(values) != len(x_values):
+            raise ValueError(f"series {name!r} length mismatch")
+    if not x_values:
+        raise ValueError("need at least one x value")
+    frame = _Frame()
+    canvas = SvgCanvas(frame, title)
+    peak = max((max(v) for v in series.values()), default=1.0)
+    top = _axes(canvas, _nice_ticks(peak), y_label)
+    x_min, x_max = min(x_values), max(x_values)
+    span = (x_max - x_min) or 1.0
+
+    for si, (name, values) in enumerate(series.items()):
+        points = [
+            (frame.x((x - x_min) / span), frame.y(v / top))
+            for x, v in zip(x_values, values)
+        ]
+        canvas.polyline(points, stroke=PALETTE[si % len(PALETTE)])
+    for frac, value in ((0.0, x_min), (0.5, (x_min + x_max) / 2),
+                        (1.0, x_max)):
+        canvas.text(frame.x(frac), frame.y(0) + 16, f"{value:g}",
+                    anchor="middle")
+    canvas.text(frame.x(0.5), frame.height - 10, x_label, anchor="middle")
+    _legend(canvas, list(series))
+    return canvas
+
+
+def box_chart(
+    groups: Dict[str, Dict[str, BoxStats]],
+    title: str = "",
+    y_label: str = "",
+) -> SvgCanvas:
+    """Box-and-whisker chart: outer groups (workloads) x inner boxes
+    (methods), the Fig 11 layout."""
+    if not groups:
+        raise ValueError("need at least one group")
+    frame = _Frame()
+    canvas = SvgCanvas(frame, title)
+    peak = max(
+        stats.maximum for methods in groups.values()
+        for stats in methods.values()
+    )
+    top = _axes(canvas, _nice_ticks(peak), y_label)
+
+    method_names = list(next(iter(groups.values())))
+    n_groups = len(groups)
+    group_width = 1.0 / n_groups
+    box_frac = 0.8 * group_width / max(len(method_names), 1)
+    for gi, (group_name, methods) in enumerate(groups.items()):
+        center = (gi + 0.5) * group_width
+        canvas.text(frame.x(center), frame.y(0) + 16, group_name,
+                    anchor="middle")
+        for mi, name in enumerate(method_names):
+            s = methods[name]
+            color = PALETTE[mi % len(PALETTE)]
+            x0 = center - 0.4 * group_width + mi * box_frac
+            cx = frame.x(x0 + box_frac / 2)
+            w = box_frac * frame.inner_width * 0.7
+            # whiskers
+            canvas.line(cx, frame.y(s.minimum / top),
+                        cx, frame.y(s.maximum / top), stroke=color)
+            # interquartile box
+            canvas.rect(
+                cx - w / 2,
+                frame.y(s.q3 / top),
+                w,
+                max(1.0, (s.q3 - s.q1) / top * frame.inner_height),
+                fill=color, opacity=0.55,
+            )
+            # median bar
+            canvas.line(cx - w / 2, frame.y(s.median / top),
+                        cx + w / 2, frame.y(s.median / top),
+                        stroke="#000", width=1.5)
+    _legend(canvas, method_names)
+    return canvas

@@ -1,0 +1,98 @@
+"""Workload characterization reports.
+
+FStartBench's value is in *knowing* what a workload stresses; this module
+renders the full characterization for any :class:`Workload`: per-function
+composition, the pairwise similarity matrix (Metric 1), package-size spread
+(Metric 2) and an arrival-rate histogram (Metric 3), all as ASCII.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.analysis.report import ascii_bar_chart, ascii_table
+from repro.packages.similarity import jaccard_similarity
+from repro.workloads.metrics import workload_similarity, workload_size_variance
+from repro.workloads.workload import Workload
+
+
+def composition_table(workload: Workload) -> str:
+    """Per-function invocation counts, sizes and timing profiles."""
+    counts = workload.invocation_counts()
+    rows: List[List[str]] = []
+    for spec in workload.function_specs():
+        rows.append([
+            spec.name,
+            str(counts.get(spec.name, 0)),
+            f"{spec.image.total_size_mb:.0f}",
+            f"{spec.image.memory_mb:.0f}",
+            f"{spec.function_init_s:.2f}",
+            f"{spec.exec_time_mean_s:.2f}",
+        ])
+    rows.sort(key=lambda r: -int(r[1]))
+    return ascii_table(
+        ["function", "invocations", "image MB", "mem MB", "init s", "exec s"],
+        rows,
+        title=f"composition of {workload.name!r} ({len(workload)} invocations)",
+    )
+
+
+def similarity_matrix(workload: Workload) -> str:
+    """Pairwise Jaccard similarity between the workload's function types."""
+    specs = workload.function_specs()
+    header = ["fn \\ fn"] + [s.name.split("-")[0][:8] for s in specs]
+    rows = []
+    for a in specs:
+        row = [a.name[:16]]
+        for b in specs:
+            row.append(f"{jaccard_similarity(a.image.packages, b.image.packages):.2f}")
+        rows.append(row)
+    return ascii_table(header, rows, title="pairwise Jaccard similarity")
+
+
+def arrival_histogram(workload: Workload, bins: int = 12) -> str:
+    """Arrivals per time bucket (reveals Uniform / Peak / Random shapes)."""
+    times = workload.arrival_times()
+    if times.size == 0:
+        return "no invocations"
+    edges = np.linspace(0.0, max(times.max(), 1e-9), bins + 1)
+    counts, _ = np.histogram(times, bins=edges)
+    labels = [f"{edges[i]:5.0f}-{edges[i+1]:5.0f}s" for i in range(bins)]
+    return ascii_bar_chart(labels, counts.astype(float), width=30,
+                           title="arrival histogram")
+
+
+def interarrival_summary(workload: Workload) -> Dict[str, float]:
+    """Burstiness statistics of the arrival process."""
+    gaps = workload.interarrival_times()
+    if gaps.size == 0:
+        return {"mean_gap_s": 0.0, "cv": 0.0, "burstiness_index": 0.0}
+    mean = float(gaps.mean())
+    std = float(gaps.std())
+    cv = std / mean if mean > 0 else 0.0
+    # Goh & Barabasi burstiness in [-1, 1]: 0 for Poisson, 1 for extreme.
+    burstiness = (std - mean) / (std + mean) if (std + mean) > 0 else 0.0
+    return {"mean_gap_s": mean, "cv": cv, "burstiness_index": burstiness}
+
+
+def full_report(workload: Workload) -> str:
+    """The complete characterization of a workload."""
+    stats = interarrival_summary(workload)
+    lines = [
+        composition_table(workload),
+        "",
+        similarity_matrix(workload),
+        "",
+        arrival_histogram(workload),
+        "",
+        f"mean pairwise similarity (Metric 1): "
+        f"{workload_similarity(workload):.3f}",
+        f"package size variance   (Metric 2): "
+        f"{workload_size_variance(workload):.0f}",
+        f"interarrival mean/cv/burstiness (Metric 3): "
+        f"{stats['mean_gap_s']:.2f}s / {stats['cv']:.2f} / "
+        f"{stats['burstiness_index']:+.2f}",
+    ]
+    return "\n".join(lines)

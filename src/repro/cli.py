@@ -1,0 +1,243 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``workloads``
+    List the FStartBench workload sets with their metrics.
+``simulate``
+    Run one scheduler over one workload at a chosen pool level.
+``train``
+    Train an MLCR policy and save it to a ``.npz`` file.
+``experiment``
+    Run a paper experiment by id (fig1, fig2, fig3, tab2, fig8, fig9,
+    fig10, fig11a/b/c, overhead, ablations) and print its report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.report import ascii_table
+from repro.cluster.simulator import SimulationConfig
+from repro.experiments.common import (
+    ExperimentScale,
+    evaluate_scheduler,
+    make_baselines,
+    make_training_factory,
+    pool_sizes,
+)
+from repro.workloads.fstartbench import WORKLOAD_BUILDERS, build_workload
+
+_SCHEDULERS = {
+    "lru": "LRUScheduler",
+    "faascache": "FaasCacheScheduler",
+    "keepalive": "KeepAliveScheduler",
+    "greedy": "GreedyMatchScheduler",
+    "coldonly": "ColdOnlyScheduler",
+    "lookahead": "LookaheadScheduler",
+    "walways": "AlwaysAdoptScheduler",
+}
+
+_EXPERIMENTS = (
+    "fig1", "fig2", "fig3", "tab2", "fig8", "fig9", "fig10",
+    "fig11a", "fig11b", "fig11c", "overhead", "ablations",
+)
+
+
+def _build_scheduler(name: str):
+    import repro.schedulers as schedulers
+
+    return getattr(schedulers, _SCHEDULERS[name])()
+
+
+# ---------------------------------------------------------------------------
+# Commands
+# ---------------------------------------------------------------------------
+
+def cmd_workloads(args: argparse.Namespace) -> int:
+    """``repro workloads``: list or characterize workload sets."""
+    if args.detail:
+        from repro.analysis.workload_report import full_report
+
+        print(full_report(build_workload(args.detail, seed=args.seed)))
+        return 0
+    rows = []
+    for name in WORKLOAD_BUILDERS:
+        wl = build_workload(name, seed=args.seed)
+        rows.append([
+            name,
+            str(len(wl)),
+            f"{wl.duration_s:.0f}",
+            str(len(wl.function_specs())),
+            f"{wl.metadata.get('similarity', float('nan')):.2f}",
+            f"{wl.metadata.get('size_variance', float('nan')):.0f}",
+        ])
+    print(ascii_table(
+        ["workload", "invocations", "duration s", "functions",
+         "similarity", "size var"],
+        rows,
+        title=f"FStartBench workloads (seed {args.seed})",
+    ))
+    return 0
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    """``repro simulate``: run scheduler(s) over a workload."""
+    workload = build_workload(args.workload, seed=args.seed)
+    capacity = pool_sizes(workload)[args.pool.capitalize()]
+    if args.scheduler == "all":
+        policies = make_baselines()
+    else:
+        policies = [_build_scheduler(args.scheduler)]
+    rows = []
+    for policy in policies:
+        res = evaluate_scheduler(policy, workload, capacity,
+                                 args.pool.capitalize())
+        rows.append([
+            policy.name,
+            f"{res.total_startup_s:.1f}",
+            f"{res.mean_startup_s * 1e3:.0f}",
+            str(res.cold_starts),
+            str(res.evictions),
+            f"{res.peak_warm_memory_mb:.0f}",
+        ])
+    print(ascii_table(
+        ["policy", "total [s]", "mean [ms]", "cold", "evictions",
+         "peak warm MB"],
+        rows,
+        title=(f"{args.workload} (seed {args.seed}), {args.pool} pool "
+               f"= {capacity:.0f} MB"),
+    ))
+    return 0
+
+
+def cmd_train(args: argparse.Namespace) -> int:
+    """``repro train``: train an MLCR policy and save it."""
+    from repro.core.mlcr import train_mlcr_scheduler
+    from repro.core.persistence import save_scheduler
+
+    scale = ExperimentScale.from_env()
+    builder = WORKLOAD_BUILDERS[args.workload]
+    capacity = pool_sizes(builder(seed=0))[args.pool.capitalize()]
+    config = scale.mlcr_config(seed=args.seed)
+    if args.episodes:
+        from dataclasses import replace
+
+        config = replace(config, n_episodes=args.episodes)
+    print(f"training on {args.workload}@{args.pool} ({capacity:.0f} MB), "
+          f"{config.n_episodes} episodes...")
+    scheduler, history = train_mlcr_scheduler(
+        workload_factory=make_training_factory(lambda s: builder(seed=s),
+                                               scale),
+        sim_config=SimulationConfig(pool_capacity_mb=capacity),
+        config=config,
+        verbose=args.verbose,
+    )
+    path = save_scheduler(scheduler, config, args.output)
+    print(f"best validation latency: {history.best_eval_latency:.1f}s")
+    print(f"saved policy to {path}")
+    return 0
+
+
+def cmd_experiment(args: argparse.Namespace) -> int:
+    """``repro experiment``: run one paper experiment."""
+    from repro.experiments import (
+        ablations,
+        fig1_breakdown,
+        fig2_motivation,
+        fig3_dockerhub,
+        fig8_overall,
+        fig9_trajectory,
+        fig10_memory,
+        fig11_benchmarks,
+        overhead,
+        tab2_functions,
+    )
+
+    simple = {
+        "fig1": fig1_breakdown,
+        "fig2": fig2_motivation,
+        "fig3": fig3_dockerhub,
+        "tab2": tab2_functions,
+    }
+    scaled = {
+        "fig8": fig8_overall,
+        "fig9": fig9_trajectory,
+        "fig10": fig10_memory,
+        "overhead": overhead,
+        "ablations": ablations,
+    }
+    if args.id in simple:
+        module = simple[args.id]
+        print(module.report(module.run()))
+    elif args.id in scaled:
+        module = scaled[args.id]
+        print(module.report(module.run(ExperimentScale.from_env())))
+    elif args.id.startswith("fig11"):
+        sub = {"fig11a": "a:similarity", "fig11b": "b:variance",
+               "fig11c": "c:arrival"}[args.id]
+        print(fig11_benchmarks.report(
+            fig11_benchmarks.run_subfigure(sub, ExperimentScale.from_env())
+        ))
+    else:  # pragma: no cover - argparse choices prevent this
+        raise SystemExit(f"unknown experiment {args.id}")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# Parser
+# ---------------------------------------------------------------------------
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser for the CLI."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="MLCR reproduction: simulator, FStartBench, experiments",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("workloads", help="list FStartBench workload sets")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--detail", default=None,
+                   choices=sorted(WORKLOAD_BUILDERS),
+                   help="print the full characterization of one workload")
+    p.set_defaults(func=cmd_workloads)
+
+    p = sub.add_parser("simulate", help="run a scheduler over a workload")
+    p.add_argument("--workload", default="Overall",
+                   choices=sorted(WORKLOAD_BUILDERS))
+    p.add_argument("--scheduler", default="all",
+                   choices=["all", *sorted(_SCHEDULERS)])
+    p.add_argument("--pool", default="tight",
+                   choices=["tight", "moderate", "loose"])
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_simulate)
+
+    p = sub.add_parser("train", help="train and save an MLCR policy")
+    p.add_argument("--workload", default="Overall",
+                   choices=sorted(WORKLOAD_BUILDERS))
+    p.add_argument("--pool", default="tight",
+                   choices=["tight", "moderate", "loose"])
+    p.add_argument("--episodes", type=int, default=0,
+                   help="override training episodes")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--output", default="mlcr_policy.npz")
+    p.add_argument("--verbose", action="store_true")
+    p.set_defaults(func=cmd_train)
+
+    p = sub.add_parser("experiment", help="run a paper experiment")
+    p.add_argument("id", choices=_EXPERIMENTS)
+    p.set_defaults(func=cmd_experiment)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,68 @@
+"""Discrete-event machinery for the cluster simulator.
+
+A tiny, dependency-free event queue built on ``heapq``.  Events are ordered
+by ``(time, sequence)`` so that simultaneous events are processed in
+insertion order -- this keeps the simulator fully deterministic.
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+
+class EventKind(enum.Enum):
+    """Kinds of simulator events."""
+
+    ARRIVAL = "arrival"              # a function invocation arrives
+    STARTUP_COMPLETE = "startup"     # container finished its startup phases
+    EXECUTION_COMPLETE = "execution" # function finished executing
+
+
+@dataclass(frozen=True, order=True)
+class Event:
+    """A scheduled simulator event.
+
+    ``payload`` carries the invocation or container involved; it is excluded
+    from ordering so only ``(time, seq)`` determine processing order.
+    """
+
+    time: float
+    seq: int
+    kind: EventKind = field(compare=False)
+    payload: Any = field(compare=False, default=None)
+
+
+class EventQueue:
+    """A deterministic priority queue of :class:`Event` objects."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+
+    def push(self, time: float, kind: EventKind, payload: Any = None) -> Event:
+        """Schedule an event at ``time``; returns the created event."""
+        if time < 0:
+            raise ValueError("event time must be >= 0")
+        event = Event(time=time, seq=next(self._counter), kind=kind, payload=payload)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Event:
+        """Remove and return the earliest event."""
+        if not self._heap:
+            raise IndexError("pop from empty EventQueue")
+        return heapq.heappop(self._heap)
+
+    def peek(self) -> Optional[Event]:
+        """The earliest event without removing it, or ``None`` if empty."""
+        return self._heap[0] if self._heap else None
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)

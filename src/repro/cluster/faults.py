@@ -1,0 +1,77 @@
+"""Fault injection for the cluster simulator.
+
+Real serverless platforms see two perturbations the paper's clean model
+ignores: containers occasionally die (OOM kills, node drains) instead of
+returning to the warm pool, and registry pulls occasionally straggle.  The
+:class:`FaultModel` injects both, deterministically per seed, so schedulers
+can be evaluated under realistic noise and the test suite can assert that
+every invariant (conservation, capacity, isolation) survives faults.
+
+Faults are applied inside the simulator:
+
+* **container crash** -- with probability ``crash_prob``, a container that
+  finishes execution is destroyed instead of being kept warm (counted in
+  ``Telemetry.container_crashes``);
+* **pull straggler** -- with probability ``straggler_prob``, a start's PULL
+  phase is multiplied by ``straggler_factor`` (counted in
+  ``Telemetry.stragglers``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.containers.costmodel import StartupBreakdown
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """Fault-injection probabilities (all zero = no faults)."""
+
+    crash_prob: float = 0.0
+    straggler_prob: float = 0.0
+    straggler_factor: float = 4.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        for name, p in (("crash_prob", self.crash_prob),
+                        ("straggler_prob", self.straggler_prob)):
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1]")
+        if self.straggler_factor < 1.0:
+            raise ValueError("straggler_factor must be >= 1")
+
+    @property
+    def enabled(self) -> bool:
+        """Whether any fault has a non-zero probability."""
+        return self.crash_prob > 0 or self.straggler_prob > 0
+
+
+class FaultModel:
+    """Stateful fault sampler driven by a seeded generator."""
+
+    def __init__(self, config: FaultConfig) -> None:
+        self.config = config
+        self._rng = np.random.default_rng(config.seed)
+
+    def should_crash(self) -> bool:
+        """Sample whether a finishing container dies instead of pooling."""
+        if self.config.crash_prob <= 0:
+            return False
+        return bool(self._rng.random() < self.config.crash_prob)
+
+    def perturb_breakdown(self, breakdown: StartupBreakdown) -> tuple:
+        """Possibly stretch the PULL phase; returns (breakdown, straggled)."""
+        cfg = self.config
+        if (
+            cfg.straggler_prob <= 0
+            or breakdown.pull_s <= 0
+            or self._rng.random() >= cfg.straggler_prob
+        ):
+            return breakdown, False
+        return (
+            replace(breakdown, pull_s=breakdown.pull_s * cfg.straggler_factor),
+            True,
+        )

@@ -1,0 +1,209 @@
+"""Fixed-capacity warm container pool.
+
+The pool holds *idle* warm containers up to a memory capacity in MB (the
+paper's fix-sized warm resource pool).  Busy containers are tracked by the
+simulator, not the pool; only keep-alive decisions consume pool capacity.
+
+The pool maintains LRU ordering (most recently used last) so eviction
+policies and matching tie-breaks can iterate in recency order.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterator, List, Optional
+
+from repro.containers.container import Container
+
+
+class PoolFullError(RuntimeError):
+    """Raised when adding a container would exceed the pool capacity."""
+
+
+class WarmPool:
+    """A memory-bounded collection of idle warm containers.
+
+    Parameters
+    ----------
+    capacity_mb:
+        Total memory reserved for warm containers.  ``float("inf")`` models
+        an unbounded pool (used to compute the paper's *Loose* sizing).
+    """
+
+    def __init__(self, capacity_mb: float) -> None:
+        if capacity_mb < 0:
+            raise ValueError("capacity_mb must be >= 0")
+        self.capacity_mb = capacity_mb
+        self._containers: "OrderedDict[int, Container]" = OrderedDict()
+        self._used_mb = 0.0
+        self.peak_used_mb = 0.0
+
+    # -- capacity -----------------------------------------------------------
+    @property
+    def used_mb(self) -> float:
+        """Memory currently consumed by idle warm containers."""
+        return self._used_mb
+
+    @property
+    def free_mb(self) -> float:
+        return self.capacity_mb - self._used_mb
+
+    def fits(self, container: Container) -> bool:
+        """Whether ``container`` fits in the remaining capacity."""
+        return container.memory_mb <= self.free_mb
+
+    # -- membership ----------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._containers)
+
+    def __contains__(self, container_id: int) -> bool:
+        return container_id in self._containers
+
+    def __iter__(self) -> Iterator[Container]:
+        """Iterate least-recently-used first."""
+        return iter(self._containers.values())
+
+    def containers(self) -> List[Container]:
+        """Snapshot list, least-recently-used first."""
+        return list(self._containers.values())
+
+    def get(self, container_id: int) -> Optional[Container]:
+        """Look up by id; returns None when absent."""
+        return self._containers.get(container_id)
+
+    # -- mutation ----------------------------------------------------------
+    def add(self, container: Container) -> None:
+        """Insert an idle container as most-recently-used.
+
+        Raises
+        ------
+        PoolFullError
+            When the container does not fit; callers evict first.
+        ValueError
+            When the container is not idle or already present.
+        """
+        if not container.is_idle:
+            raise ValueError(
+                f"container {container.container_id} is {container.state.value}, "
+                "only idle containers can be pooled"
+            )
+        if container.container_id in self._containers:
+            raise ValueError(f"container {container.container_id} already pooled")
+        if not self.fits(container):
+            raise PoolFullError(
+                f"container {container.container_id} "
+                f"({container.memory_mb:.0f}MB) exceeds free capacity "
+                f"({self.free_mb:.0f}MB)"
+            )
+        self._containers[container.container_id] = container
+        self._used_mb += container.memory_mb
+        self.peak_used_mb = max(self.peak_used_mb, self._used_mb)
+
+    def remove(self, container_id: int) -> Container:
+        """Remove and return a pooled container (claimed or evicted)."""
+        container = self._containers.pop(container_id, None)
+        if container is None:
+            raise KeyError(f"container {container_id} not in pool")
+        self._used_mb -= container.memory_mb
+        # Guard against float drift accumulating below zero.
+        if self._used_mb < 1e-9:
+            self._used_mb = 0.0
+        return container
+
+    def touch(self, container_id: int) -> None:
+        """Mark a container most-recently-used (moves it to the LRU tail)."""
+        if container_id not in self._containers:
+            raise KeyError(f"container {container_id} not in pool")
+        self._containers.move_to_end(container_id)
+
+    def lru_order(self) -> List[Container]:
+        """Containers least-recently-used first (eviction candidates)."""
+        return list(self._containers.values())
+
+
+class PoolSet:
+    """One warm pool per worker (the paper's per-worker reserved memory).
+
+    The scheduler sees the union of all idle containers, but capacity is
+    enforced per shard: a container is pooled on the worker that hosts it,
+    and eviction policies operate on that worker's shard only.  With
+    ``n_shards=1`` this degenerates to the single global pool.
+    """
+
+    def __init__(self, capacity_mb: float, n_shards: int = 1) -> None:
+        if n_shards < 1:
+            raise ValueError("n_shards must be >= 1")
+        if capacity_mb < 0:
+            raise ValueError("capacity_mb must be >= 0")
+        self.n_shards = n_shards
+        per_shard = capacity_mb / n_shards
+        self._shards = [WarmPool(per_shard) for _ in range(n_shards)]
+        self._shard_of: dict[int, int] = {}
+
+    # -- shard access ---------------------------------------------------------
+    def shard(self, index: int) -> WarmPool:
+        """The shard at ``index`` (wrapping)."""
+        return self._shards[index % self.n_shards]
+
+    def shard_of(self, container_id: int) -> WarmPool:
+        """The shard currently holding ``container_id``."""
+        return self._shards[self._shard_of[container_id]]
+
+    # -- aggregate capacity ----------------------------------------------------
+    @property
+    def capacity_mb(self) -> float:
+        return sum(s.capacity_mb for s in self._shards)
+
+    @property
+    def used_mb(self) -> float:
+        return sum(s.used_mb for s in self._shards)
+
+    @property
+    def free_mb(self) -> float:
+        return self.capacity_mb - self.used_mb
+
+    @property
+    def peak_used_mb(self) -> float:
+        # Aggregate peak is approximated by the sum of shard peaks; exact
+        # for n_shards == 1 (the default configuration).
+        return sum(s.peak_used_mb for s in self._shards)
+
+    # -- membership -------------------------------------------------------------
+    def __len__(self) -> int:
+        return sum(len(s) for s in self._shards)
+
+    def __contains__(self, container_id: int) -> bool:
+        return container_id in self._shard_of
+
+    def get(self, container_id: int) -> Optional[Container]:
+        """Look up by id; returns None when absent."""
+        index = self._shard_of.get(container_id)
+        if index is None:
+            return None
+        return self._shards[index].get(container_id)
+
+    def containers(self) -> List[Container]:
+        """All idle containers, least-recently-used first."""
+        return self.lru_order()
+
+    def lru_order(self) -> List[Container]:
+        """All idle containers, least-recently-used first (merged)."""
+        merged: List[Container] = []
+        for s in self._shards:
+            merged.extend(s.lru_order())
+        merged.sort(key=lambda c: (c.last_used_at, c.container_id))
+        return merged
+
+    # -- mutation ---------------------------------------------------------------
+    def add(self, container: Container, shard_index: int) -> None:
+        """Pool ``container`` on its worker's shard."""
+        shard = self._shards[shard_index % self.n_shards]
+        shard.add(container)
+        self._shard_of[container.container_id] = shard_index % self.n_shards
+
+    def remove(self, container_id: int) -> Container:
+        """Remove and return a pooled container from its shard."""
+        index = self._shard_of.pop(container_id, None)
+        if index is None:
+            raise KeyError(f"container {container_id} not pooled")
+        return self._shards[index].remove(container_id)

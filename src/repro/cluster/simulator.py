@@ -1,0 +1,388 @@
+"""Discrete-event serverless cluster simulator.
+
+Faithful to the paper's system model (Section III-A): invocations arrive
+continuously; for each one a scheduler picks a warm container from the
+fix-sized pool or cold-starts a new container; after execution the container
+is put back into the pool, with the eviction policy making room (or rejecting
+the keep-warm request).
+
+The simulator exposes two equivalent driving modes:
+
+* :meth:`ClusterSimulator.run` -- batch mode with a
+  :class:`~repro.schedulers.base.Scheduler`;
+* the incremental API (:meth:`load` / :meth:`next_decision_point` /
+  :meth:`apply_decision` / :meth:`finish`) used by the DRL environment, which
+  needs to interleave learning with decisions.
+
+Both modes share every line of event-handling code, so trained policies see
+exactly the dynamics they were trained on.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.cluster.events import EventKind, EventQueue
+from repro.cluster.eviction import EvictionPolicy, LRUEviction
+from repro.cluster.faults import FaultConfig, FaultModel
+from repro.cluster.pool import PoolSet, WarmPool
+from repro.cluster.telemetry import InvocationRecord, Telemetry
+from repro.cluster.worker import WorkerSet
+from repro.containers.cleaner import ContainerCleaner
+from repro.containers.container import Container, ContainerState
+from repro.containers.costmodel import StartupCostModel
+from repro.containers.matching import MatchLevel, match_level
+from repro.containers.volumes import VolumeStore
+from repro.schedulers.base import Decision, Scheduler, SchedulingContext
+from repro.workloads.workload import Invocation, Workload
+
+
+class InvalidDecisionError(RuntimeError):
+    """A scheduler returned an unusable decision (bad id, busy, no-match)."""
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Cluster configuration.
+
+    Parameters
+    ----------
+    pool_capacity_mb:
+        Warm-pool memory capacity (``float("inf")`` = unbounded, used to
+        derive the paper's *Loose* sizing).
+    cost_model:
+        Startup cost model shared by scheduling estimates and actual costs.
+    n_workers:
+        Workers for placement accounting (does not affect latency).
+    delta_pricing:
+        Price warm reuse by per-package deltas
+        (:meth:`StartupCostModel.delta_breakdown`) instead of Table-I level
+        costs.  Enables W-style and zygote-style experiments where a
+        container's extra packages should not be re-pulled.
+    per_worker_pools:
+        Partition the warm-pool capacity into one shard per worker (the
+        paper's "each worker has a reserved memory space").  Scheduling
+        still sees the union of idle containers; keep-alive and eviction
+        happen on the container's own worker.
+    """
+
+    pool_capacity_mb: float
+    cost_model: StartupCostModel = field(default_factory=StartupCostModel)
+    n_workers: int = 4
+    delta_pricing: bool = False
+    per_worker_pools: bool = False
+    faults: "FaultConfig" = field(default_factory=lambda: FaultConfig())
+    trace: bool = False
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Outcome of one simulated run."""
+
+    workload_name: str
+    scheduler_name: str
+    pool_capacity_mb: float
+    telemetry: Telemetry
+
+    def summary(self) -> Dict[str, float]:
+        """Scalar summary of the run's telemetry."""
+        return self.telemetry.summary()
+
+
+class ClusterSimulator:
+    """The event-driven serverless platform."""
+
+    def __init__(
+        self,
+        config: SimulationConfig,
+        eviction_policy: EvictionPolicy | None = None,
+    ) -> None:
+        self.config = config
+        self.eviction = eviction_policy or LRUEviction()
+        self.pool = PoolSet(
+            config.pool_capacity_mb,
+            n_shards=config.n_workers if config.per_worker_pools else 1,
+        )
+        self.telemetry = Telemetry(trace_enabled=config.trace)
+        self.workers = WorkerSet(config.n_workers)
+        self.volume_store = VolumeStore()
+        self.cleaner = ContainerCleaner(self.volume_store)
+        self.now = 0.0
+        self._faults = FaultModel(config.faults)
+        self._events = EventQueue()
+        self._container_ids = itertools.count(1)
+        self._live: Dict[int, Container] = {}
+        self._live_memory_mb = 0.0
+        self._pending: Optional[Invocation] = None
+        self._workload_name = "<none>"
+        self._finished = False
+
+    # ------------------------------------------------------------------
+    # Batch mode
+    # ------------------------------------------------------------------
+    def run(self, workload: Workload, scheduler: Scheduler) -> SimulationResult:
+        """Simulate ``workload`` end-to-end under ``scheduler``."""
+        self.load(workload)
+        while True:
+            ctx = self.next_decision_point()
+            if ctx is None:
+                break
+            self.apply_decision(scheduler.decide(ctx))
+        return self.finish(scheduler_name=scheduler.name)
+
+    # ------------------------------------------------------------------
+    # Incremental mode (used by the DRL environment)
+    # ------------------------------------------------------------------
+    def load(self, workload: Workload) -> None:
+        """Queue every arrival of ``workload``; resets nothing else."""
+        if self._finished:
+            raise RuntimeError("simulator already finished; build a new one")
+        self._workload_name = workload.name
+        for inv in workload:
+            self._events.push(inv.arrival_time, EventKind.ARRIVAL, inv)
+
+    def prewarm(self, image, owner_name: str = "prewarm") -> Container:
+        """Provision an idle warm container before (or between) arrivals.
+
+        Implements proactive pre-warming (Shahrad et al.) and zygote
+        provisioning (Li et al.): the container appears in the pool
+        immediately and consumes pool capacity; the eviction policy makes
+        room if needed.  Raises :class:`~repro.cluster.pool.PoolFullError`
+        via the eviction policy returning ``None`` when it cannot fit.
+        """
+        container = Container(
+            container_id=next(self._container_ids),
+            image=image,
+            created_at=self.now,
+            last_used_at=self.now,
+        )
+        container.state = ContainerState.IDLE
+        self._live[container.container_id] = container
+        self._live_memory_mb += container.memory_mb
+        self.telemetry.sample_live_memory(self._live_memory_mb)
+        self.workers.place(container.container_id, container.memory_mb)
+        self.cleaner.initial_mount(container, owner_name)
+        container.current_function = owner_name
+        self._keep_alive(container)
+        return container
+
+    def next_decision_point(self) -> Optional[SchedulingContext]:
+        """Advance until the next arrival; return its scheduling context.
+
+        Completion events between arrivals are processed internally.
+        Returns ``None`` once all arrivals have been handled.
+        """
+        if self._pending is not None:
+            raise RuntimeError("previous decision not applied yet")
+        while self._events:
+            event = self._events.pop()
+            self.now = max(self.now, event.time)
+            self._expire_ttl()
+            if event.kind is EventKind.ARRIVAL:
+                self._pending = event.payload
+                return self._context_for(self._pending)
+            self._handle_non_arrival(event)
+        return None
+
+    def apply_decision(self, decision: Decision) -> InvocationRecord:
+        """Execute a scheduling decision for the pending invocation."""
+        if self._pending is None:
+            raise RuntimeError("no pending invocation; call next_decision_point")
+        invocation, self._pending = self._pending, None
+        spec = invocation.spec
+
+        if decision.is_cold:
+            container = Container(
+                container_id=next(self._container_ids),
+                image=spec.image,
+                created_at=self.now,
+            )
+            self._live[container.container_id] = container
+            self._live_memory_mb += container.memory_mb
+            self.workers.place(container.container_id, container.memory_mb)
+            self.cleaner.initial_mount(container, spec.name)
+            match = MatchLevel.NO_MATCH
+            old_image = spec.image
+        else:
+            container = self._claim_container(decision.container_id, invocation)
+            old_memory = container.memory_mb
+            old_image = container.image
+            # Zygote-style reuse keeps the container's own (superset) image;
+            # the cleaner then only swaps the user-data volume.
+            target_image = (
+                container.image if decision.preserve_image else spec.image
+            )
+            result = self.cleaner.repack(container, target_image, spec.name)
+            self._live_memory_mb += container.memory_mb - old_memory
+            match = (
+                match_level(spec.image, container.image)
+                if decision.preserve_image
+                else result.match
+            )
+        self.telemetry.sample_live_memory(self._live_memory_mb)
+
+        if not decision.is_cold and self.config.delta_pricing:
+            breakdown = self.config.cost_model.delta_breakdown(
+                spec.image, old_image, spec.function_init_s
+            )
+        else:
+            breakdown = self.config.cost_model.breakdown(
+                spec.image, match, spec.function_init_s
+            )
+        if self.config.faults.enabled:
+            breakdown, straggled = self._faults.perturb_breakdown(breakdown)
+            if straggled:
+                self.telemetry.record_straggler()
+        latency = breakdown.total_s
+        ready_at = self.now + latency
+        container.begin_startup(spec.name, self.now, ready_at)
+        self._events.push(ready_at, EventKind.STARTUP_COMPLETE,
+                          (container, invocation))
+        self.eviction.on_function_start(spec.name, latency,
+                                        container.memory_mb, self.now)
+        self.telemetry.record_event(
+            self.now,
+            "cold_start" if decision.is_cold else f"warm_{match.name}",
+            container.container_id,
+            spec.name,
+            f"latency={latency:.3f}s",
+        )
+        record = InvocationRecord(
+            invocation_id=invocation.invocation_id,
+            function_name=spec.name,
+            arrival_time=invocation.arrival_time,
+            container_id=container.container_id,
+            cold_start=decision.is_cold,
+            match=match,
+            startup_latency_s=latency,
+            breakdown=breakdown,
+            execution_time_s=invocation.execution_time_s,
+        )
+        self.telemetry.record_invocation(record)
+        return record
+
+    def finish(self, scheduler_name: str = "policy") -> SimulationResult:
+        """Drain remaining events and return the run result."""
+        if self._pending is not None:
+            raise RuntimeError("pending decision not applied")
+        while self._events:
+            event = self._events.pop()
+            self.now = max(self.now, event.time)
+            self._expire_ttl()
+            if event.kind is EventKind.ARRIVAL:
+                raise RuntimeError("finish() called with arrivals outstanding")
+            self._handle_non_arrival(event)
+        self._finished = True
+        return SimulationResult(
+            workload_name=self._workload_name,
+            scheduler_name=scheduler_name,
+            pool_capacity_mb=self.config.pool_capacity_mb,
+            telemetry=self.telemetry,
+        )
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _context_for(self, invocation: Invocation) -> SchedulingContext:
+        return SchedulingContext(
+            now=self.now,
+            invocation=invocation,
+            idle_containers=tuple(self.pool.lru_order()),
+            cost_model=self.config.cost_model,
+            pool_capacity_mb=self.pool.capacity_mb,
+            pool_used_mb=self.pool.used_mb,
+        )
+
+    def _claim_container(
+        self, container_id: Optional[int], invocation: Invocation
+    ) -> Container:
+        if container_id is None:  # pragma: no cover - guarded by is_cold
+            raise InvalidDecisionError("warm decision without a container id")
+        container = self.pool.get(container_id)
+        if container is None:
+            raise InvalidDecisionError(
+                f"container {container_id} is not an idle pooled container"
+            )
+        if match_level(invocation.spec.image, container.image) is MatchLevel.NO_MATCH:
+            raise InvalidDecisionError(
+                f"container {container_id} does not match invocation "
+                f"{invocation.spec.name} at any level"
+            )
+        self.pool.remove(container_id)
+        self.telemetry.sample_memory(self.now, self.pool.used_mb)
+        container.claim()
+        return container
+
+    def _handle_non_arrival(self, event) -> None:
+        container, invocation = event.payload
+        if event.kind is EventKind.STARTUP_COMPLETE:
+            finish_at = self.now + invocation.execution_time_s
+            container.begin_execution(self.now, finish_at)
+            self._events.push(finish_at, EventKind.EXECUTION_COMPLETE,
+                              (container, invocation))
+        elif event.kind is EventKind.EXECUTION_COMPLETE:
+            container.finish_execution(self.now)
+            self.telemetry.record_event(
+                self.now, "execution_complete", container.container_id,
+                container.current_function,
+            )
+            if self.config.faults.enabled and self._faults.should_crash():
+                self._destroy(container)
+                self.telemetry.record_crash()
+                self.telemetry.record_event(
+                    self.now, "crash", container.container_id,
+                    container.current_function,
+                )
+            else:
+                self._keep_alive(container)
+        else:  # pragma: no cover - exhaustive enum
+            raise RuntimeError(f"unhandled event kind {event.kind}")
+
+    def _keep_alive(self, container: Container) -> None:
+        """Try to put a finished container back into its worker's pool."""
+        shard_index = (
+            self.workers.worker_of(container.container_id)
+            if self.config.per_worker_pools
+            else 0
+        )
+        shard = self.pool.shard(shard_index)
+        victims = self.eviction.select_victims(shard, container, self.now)
+        if victims is None:
+            self._destroy(container)
+            self.telemetry.record_rejection()
+            return
+        for victim in victims:
+            self.pool.remove(victim.container_id)
+            self._destroy(victim)
+            self.telemetry.record_eviction()
+            self.telemetry.record_event(
+                self.now, "eviction", victim.container_id,
+                victim.current_function,
+            )
+        self.pool.add(container, shard_index)
+        self.telemetry.sample_memory(self.now, self.pool.used_mb)
+
+    def _expire_ttl(self) -> None:
+        ttl = self.eviction.ttl_s
+        if ttl is None:
+            return
+        expired = [
+            c for c in self.pool.containers() if c.idle_duration(self.now) > ttl
+        ]
+        for container in expired:
+            self.pool.remove(container.container_id)
+            self._destroy(container)
+            self.telemetry.record_ttl_expiration()
+        if expired:
+            self.telemetry.sample_memory(self.now, self.pool.used_mb)
+
+    def _destroy(self, container: Container) -> None:
+        if container.state is not ContainerState.EVICTED:
+            container.evict()
+        if self._live.pop(container.container_id, None) is not None:
+            self._live_memory_mb = max(
+                0.0, self._live_memory_mb - container.memory_mb
+            )
+        self.workers.release(container.container_id, container.memory_mb)

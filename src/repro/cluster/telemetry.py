@@ -1,0 +1,202 @@
+"""Telemetry: everything the evaluation section measures.
+
+The paper's figures need, per run: total/average startup latency, number of
+cold starts, cumulative latency trajectories (Fig. 9), peak warm-pool memory
+and eviction counts (Fig. 10), plus per-invocation breakdowns (Fig. 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.containers.costmodel import StartupBreakdown
+from repro.containers.matching import MatchLevel
+
+
+@dataclass(frozen=True)
+class InvocationRecord:
+    """Per-invocation outcome."""
+
+    invocation_id: int
+    function_name: str
+    arrival_time: float
+    container_id: int
+    cold_start: bool
+    match: MatchLevel
+    startup_latency_s: float
+    breakdown: StartupBreakdown
+    execution_time_s: float
+
+    @property
+    def finish_time(self) -> float:
+        return self.arrival_time + self.startup_latency_s + self.execution_time_s
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One structured simulator event (emitted when tracing is enabled)."""
+
+    time: float
+    kind: str
+    container_id: Optional[int] = None
+    function: Optional[str] = None
+    detail: str = ""
+
+    def to_json(self) -> str:
+        """Serialize as one JSON line."""
+        import json
+
+        return json.dumps({
+            "t": round(self.time, 6),
+            "kind": self.kind,
+            "container": self.container_id,
+            "function": self.function,
+            "detail": self.detail,
+        })
+
+
+@dataclass
+class Telemetry:
+    """Mutable per-run metric collector."""
+
+    records: List[InvocationRecord] = field(default_factory=list)
+    evictions: int = 0
+    keep_alive_rejections: int = 0
+    ttl_expirations: int = 0
+    container_crashes: int = 0
+    stragglers: int = 0
+    memory_timeline: List[Tuple[float, float]] = field(default_factory=list)
+    peak_warm_memory_mb: float = 0.0
+    peak_live_memory_mb: float = 0.0
+    trace: List[TraceEvent] = field(default_factory=list)
+    trace_enabled: bool = False
+
+    # -- recording ----------------------------------------------------------
+    def record_invocation(self, record: InvocationRecord) -> None:
+        """Append one per-invocation record."""
+        self.records.append(record)
+
+    def record_eviction(self, n: int = 1) -> None:
+        """Count eviction(s) of warm containers."""
+        self.evictions += n
+
+    def record_rejection(self) -> None:
+        """Count one rejected keep-warm request."""
+        self.keep_alive_rejections += 1
+
+    def record_ttl_expiration(self, n: int = 1) -> None:
+        """Count TTL expiration(s) of idle containers."""
+        self.ttl_expirations += n
+
+    def record_event(
+        self,
+        time: float,
+        kind: str,
+        container_id: Optional[int] = None,
+        function: Optional[str] = None,
+        detail: str = "",
+    ) -> None:
+        """Append a structured trace event (no-op unless tracing is on)."""
+        if self.trace_enabled:
+            self.trace.append(TraceEvent(time, kind, container_id,
+                                         function, detail))
+
+    def trace_to_jsonl(self, path) -> "object":
+        """Write the trace as JSON lines; returns the path."""
+        from pathlib import Path
+
+        path = Path(path)
+        path.write_text("\n".join(e.to_json() for e in self.trace) + "\n")
+        return path
+
+    def record_crash(self) -> None:
+        """Count one injected container crash."""
+        self.container_crashes += 1
+
+    def record_straggler(self) -> None:
+        """Count one injected pull straggler."""
+        self.stragglers += 1
+
+    def sample_memory(self, now: float, used_mb: float) -> None:
+        """Record a warm-pool memory sample and update the peak."""
+        self.memory_timeline.append((now, used_mb))
+        self.peak_warm_memory_mb = max(self.peak_warm_memory_mb, used_mb)
+
+    def sample_live_memory(self, live_mb: float) -> None:
+        """Update the peak over all live containers' memory."""
+        self.peak_live_memory_mb = max(self.peak_live_memory_mb, live_mb)
+
+    # -- aggregates ---------------------------------------------------------
+    @property
+    def n_invocations(self) -> int:
+        return len(self.records)
+
+    @property
+    def total_startup_latency_s(self) -> float:
+        return float(sum(r.startup_latency_s for r in self.records))
+
+    @property
+    def mean_startup_latency_s(self) -> float:
+        if not self.records:
+            return 0.0
+        return self.total_startup_latency_s / len(self.records)
+
+    @property
+    def cold_starts(self) -> int:
+        return sum(1 for r in self.records if r.cold_start)
+
+    @property
+    def warm_starts(self) -> int:
+        return self.n_invocations - self.cold_starts
+
+    def latencies(self) -> np.ndarray:
+        """Per-invocation startup latencies in arrival order."""
+        return np.array([r.startup_latency_s for r in self.records], dtype=np.float64)
+
+    def cumulative_latency(self) -> np.ndarray:
+        """Cumulative startup latency vs arrival index (Fig. 9 series)."""
+        return np.cumsum(self.latencies())
+
+    def cumulative_cold_starts(self) -> np.ndarray:
+        """Cumulative cold-start counts vs arrival index."""
+        flags = np.array([r.cold_start for r in self.records], dtype=np.int64)
+        return np.cumsum(flags)
+
+    def match_histogram(self) -> Dict[MatchLevel, int]:
+        """How many starts happened at each match level."""
+        hist: Dict[MatchLevel, int] = {lvl: 0 for lvl in MatchLevel}
+        for r in self.records:
+            hist[r.match] += 1
+        return hist
+
+    def per_function_mean_latency(self) -> Dict[str, float]:
+        """Mean startup latency per function name."""
+        sums: Dict[str, float] = {}
+        counts: Dict[str, int] = {}
+        for r in self.records:
+            sums[r.function_name] = sums.get(r.function_name, 0.0) + r.startup_latency_s
+            counts[r.function_name] = counts.get(r.function_name, 0) + 1
+        return {name: sums[name] / counts[name] for name in sums}
+
+    def summary(self) -> Dict[str, float]:
+        """Scalar summary used by experiment reports."""
+        lat = self.latencies()
+        return {
+            "invocations": float(self.n_invocations),
+            "total_startup_s": self.total_startup_latency_s,
+            "mean_startup_s": self.mean_startup_latency_s,
+            "p50_startup_s": float(np.median(lat)) if lat.size else 0.0,
+            "p95_startup_s": float(np.percentile(lat, 95)) if lat.size else 0.0,
+            "cold_starts": float(self.cold_starts),
+            "warm_starts": float(self.warm_starts),
+            "evictions": float(self.evictions),
+            "keep_alive_rejections": float(self.keep_alive_rejections),
+            "ttl_expirations": float(self.ttl_expirations),
+            "peak_warm_memory_mb": self.peak_warm_memory_mb,
+            "peak_live_memory_mb": self.peak_live_memory_mb,
+            "container_crashes": float(self.container_crashes),
+            "stragglers": float(self.stragglers),
+        }

@@ -1,0 +1,71 @@
+"""Worker-node accounting.
+
+The paper's system runs on a cluster of workers, each reserving memory for
+the warm pool.  Scheduling decisions in the paper (and here) operate on the
+aggregate pool; the :class:`WorkerSet` tracks *placement* -- which worker
+hosts which container -- using least-loaded assignment, so experiments can
+report per-worker distribution without affecting latency results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass
+class Worker:
+    """One worker node hosting containers."""
+
+    worker_id: int
+    container_ids: set = field(default_factory=set)
+    memory_mb: float = 0.0
+
+    @property
+    def n_containers(self) -> int:
+        return len(self.container_ids)
+
+
+class WorkerSet:
+    """Least-loaded (by memory) container placement across workers."""
+
+    def __init__(self, n_workers: int = 4) -> None:
+        if n_workers < 1:
+            raise ValueError("need at least one worker")
+        self._workers: List[Worker] = [Worker(i) for i in range(n_workers)]
+        self._placement: Dict[int, int] = {}
+
+    def place(self, container_id: int, memory_mb: float) -> int:
+        """Assign a container to the least-loaded worker; returns worker id."""
+        if container_id in self._placement:
+            raise ValueError(f"container {container_id} already placed")
+        worker = min(self._workers, key=lambda w: (w.memory_mb, w.worker_id))
+        worker.container_ids.add(container_id)
+        worker.memory_mb += memory_mb
+        self._placement[container_id] = worker.worker_id
+        return worker.worker_id
+
+    def release(self, container_id: int, memory_mb: float) -> None:
+        """Remove a container from its worker."""
+        worker_id = self._placement.pop(container_id, None)
+        if worker_id is None:
+            raise KeyError(f"container {container_id} not placed")
+        worker = self._workers[worker_id]
+        worker.container_ids.discard(container_id)
+        worker.memory_mb = max(0.0, worker.memory_mb - memory_mb)
+
+    def worker_of(self, container_id: int) -> int:
+        """The worker id hosting a container."""
+        return self._placement[container_id]
+
+    def load_snapshot(self) -> List[Dict[str, float]]:
+        """Per-worker load for telemetry/reporting."""
+        return [
+            {"worker_id": w.worker_id, "containers": float(w.n_containers),
+             "memory_mb": w.memory_mb}
+            for w in self._workers
+        ]
+
+    @property
+    def n_workers(self) -> int:
+        return len(self._workers)

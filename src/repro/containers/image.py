@@ -1,0 +1,91 @@
+"""Function image: a named, three-level package configuration.
+
+A :class:`FunctionImage` is what the paper calls a function *configuration*
+``{L1, L2, L3}``.  Both function invocations and warm containers carry one;
+Table-I matching compares the two images level-by-level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Iterable
+
+from repro.packages.package import Package, PackageLevel, PackageSet
+
+
+@dataclass(frozen=True)
+class FunctionImage:
+    """An immutable function/container image.
+
+    Parameters
+    ----------
+    name:
+        Image name, e.g. ``"fstart/hello-python"``.
+    packages:
+        The level-partitioned package set.
+    memory_mb:
+        Resident memory footprint of a container running this image
+        (includes anonymous memory beyond the package sizes).  Used for
+        warm-pool capacity accounting.
+    """
+
+    name: str
+    packages: PackageSet
+    memory_mb: float = field(default=0.0)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("image name must be non-empty")
+        if self.memory_mb < 0:
+            raise ValueError("memory_mb must be >= 0")
+        if not self.packages.os_packages:
+            raise ValueError(f"image {self.name!r} has no OS-level package")
+
+    @classmethod
+    def from_packages(
+        cls, name: str, packages: Iterable[Package], memory_overhead_mb: float = 32.0
+    ) -> "FunctionImage":
+        """Build an image whose memory footprint is derived from its packages.
+
+        ``memory_mb = memory_overhead_mb + 0.5 * total package size`` -- a
+        simple resident-set model: roughly half of a package's on-disk size
+        is mapped when the function is warm.
+        """
+        ps = PackageSet(packages)
+        return cls(
+            name=name,
+            packages=ps,
+            memory_mb=memory_overhead_mb + 0.5 * ps.total_size_mb,
+        )
+
+    # -- convenience accessors ------------------------------------------------
+    def level_set(self, level: PackageLevel) -> FrozenSet[Package]:
+        """The (frozen) package set at ``level``."""
+        return self.packages.level_set(level)
+
+    @property
+    def os_packages(self) -> FrozenSet[Package]:
+        return self.packages.os_packages
+
+    @property
+    def language_packages(self) -> FrozenSet[Package]:
+        return self.packages.language_packages
+
+    @property
+    def runtime_packages(self) -> FrozenSet[Package]:
+        return self.packages.runtime_packages
+
+    @property
+    def total_size_mb(self) -> float:
+        return self.packages.total_size_mb
+
+    def same_configuration(self, other: "FunctionImage") -> bool:
+        """True when every level matches (a full, Table-I ``L3`` match)."""
+        return self.packages == other.packages
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{self.name} (L1={len(self.os_packages)}, "
+            f"L2={len(self.language_packages)}, L3={len(self.runtime_packages)}, "
+            f"{self.memory_mb:.0f}MB)"
+        )

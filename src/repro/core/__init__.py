@@ -1,0 +1,33 @@
+"""MLCR core: the paper's primary contribution.
+
+Multi-Level Container Reuse = Table-I matching (in :mod:`repro.containers`)
+plus the DRL-based container scheduler implemented here:
+
+* :mod:`repro.core.config` -- all MLCR hyperparameters in one dataclass;
+* :mod:`repro.core.state` -- the state encoder (function, container and
+  cluster features) and action-mask builder;
+* :mod:`repro.core.env` -- a gym-style environment over the cluster
+  simulator (one step per scheduling decision, reward = -startup latency);
+* :mod:`repro.core.trainer` -- Algorithm 1 (offline DQN training with
+  replay, target network, masking, optional greedy demonstration seeding);
+* :mod:`repro.core.mlcr` -- :class:`MLCRScheduler`, a trained policy behind
+  the standard :class:`~repro.schedulers.base.Scheduler` interface.
+"""
+
+from repro.core.config import MLCRConfig
+from repro.core.state import EncodedState, StateEncoder
+from repro.core.env import SchedulingEnv, StepResult
+from repro.core.trainer import MLCRTrainer, TrainingHistory
+from repro.core.mlcr import MLCRScheduler, train_mlcr_scheduler
+
+__all__ = [
+    "MLCRConfig",
+    "StateEncoder",
+    "EncodedState",
+    "SchedulingEnv",
+    "StepResult",
+    "MLCRTrainer",
+    "TrainingHistory",
+    "MLCRScheduler",
+    "train_mlcr_scheduler",
+]

@@ -1,0 +1,124 @@
+"""Multi-head self-attention with manual backpropagation.
+
+The Fig. 7 policy network uses two multi-head attention layers to let the
+Q-function relate the arriving function's features to every warm container's
+features (and containers to each other).  Input and output are token tensors
+of shape ``(batch, tokens, model_dim)``.
+
+Shapes inside the layer follow the standard decomposition: queries, keys and
+values are ``(batch, heads, tokens, head_dim)`` with
+``head_dim = model_dim / heads``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.drl.layers import Linear, Module
+
+
+def _softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    shifted = x - x.max(axis=axis, keepdims=True)
+    e = np.exp(shifted)
+    return e / e.sum(axis=axis, keepdims=True)
+
+
+class MultiHeadAttention(Module):
+    """Self-attention: ``softmax(QK^T / sqrt(d)) V`` with an output projection."""
+
+    def __init__(
+        self,
+        model_dim: int,
+        n_heads: int,
+        rng: np.random.Generator,
+        name: str = "mha",
+    ) -> None:
+        if model_dim % n_heads != 0:
+            raise ValueError(
+                f"model_dim {model_dim} not divisible by n_heads {n_heads}"
+            )
+        self.model_dim = model_dim
+        self.n_heads = n_heads
+        self.head_dim = model_dim // n_heads
+        self.w_q = Linear(model_dim, model_dim, rng, name=f"{name}.q")
+        self.w_k = Linear(model_dim, model_dim, rng, name=f"{name}.k")
+        self.w_v = Linear(model_dim, model_dim, rng, name=f"{name}.v")
+        self.w_o = Linear(model_dim, model_dim, rng, name=f"{name}.o")
+        self._cache: Optional[Tuple] = None
+
+    # -- reshaping helpers -------------------------------------------------
+    def _split(self, x: np.ndarray) -> np.ndarray:
+        """(B, T, D) -> (B, H, T, dh)."""
+        b, t, _ = x.shape
+        return x.reshape(b, t, self.n_heads, self.head_dim).transpose(0, 2, 1, 3)
+
+    def _merge(self, x: np.ndarray) -> np.ndarray:
+        """(B, H, T, dh) -> (B, T, D)."""
+        b, h, t, dh = x.shape
+        return x.transpose(0, 2, 1, 3).reshape(b, t, h * dh)
+
+    # -- forward / backward --------------------------------------------------
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Forward pass; caches what backward() needs."""
+        if x.ndim != 3 or x.shape[-1] != self.model_dim:
+            raise ValueError(
+                f"expected (batch, tokens, {self.model_dim}), got {x.shape}"
+            )
+        q = self._split(self.w_q.forward(x))
+        k = self._split(self.w_k.forward(x))
+        v = self._split(self.w_v.forward(x))
+        scale = 1.0 / np.sqrt(self.head_dim)
+        scores = (q @ k.transpose(0, 1, 3, 2)) * scale  # (B, H, T, T)
+        attn = _softmax(scores, axis=-1)
+        context = attn @ v                               # (B, H, T, dh)
+        out = self.w_o.forward(self._merge(context))
+        self._cache = (q, k, v, attn, scale)
+        return out
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        """Backward pass; consumes the forward cache, accumulates grads."""
+        if self._cache is None:
+            raise RuntimeError("backward before forward")
+        q, k, v, attn, scale = self._cache
+        self._cache = None
+
+        d_context = self._split(self.w_o.backward(grad))       # (B, H, T, dh)
+        d_attn = d_context @ v.transpose(0, 1, 3, 2)            # (B, H, T, T)
+        d_v = attn.transpose(0, 1, 3, 2) @ d_context            # (B, H, T, dh)
+        # Softmax backward: rowwise Jacobian-vector product.
+        d_scores = attn * (d_attn - (d_attn * attn).sum(axis=-1, keepdims=True))
+        d_scores *= scale
+        d_q = d_scores @ k                                       # (B, H, T, dh)
+        d_k = d_scores.transpose(0, 1, 3, 2) @ q                 # (B, H, T, dh)
+
+        dx = self.w_q.backward(self._merge(d_q))
+        dx = dx + self.w_k.backward(self._merge(d_k))
+        dx = dx + self.w_v.backward(self._merge(d_v))
+        return dx
+
+
+class AttentionBlock(Module):
+    """Pre-norm residual attention block: ``x + MHA(LN(x))``.
+
+    Residual connections keep gradients healthy through the two stacked
+    attention layers of the policy network.
+    """
+
+    def __init__(
+        self, model_dim: int, n_heads: int, rng: np.random.Generator,
+        name: str = "block",
+    ) -> None:
+        from repro.drl.layers import LayerNorm  # local to avoid cycle noise
+
+        self.norm = LayerNorm(model_dim, name=f"{name}.ln")
+        self.attn = MultiHeadAttention(model_dim, n_heads, rng, name=f"{name}.mha")
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Forward pass; caches what backward() needs."""
+        return x + self.attn.forward(self.norm.forward(x))
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        """Backward pass; consumes the forward cache, accumulates grads."""
+        return grad + self.norm.backward(self.attn.backward(grad))

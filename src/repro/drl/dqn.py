@@ -1,0 +1,178 @@
+"""Masked (double) DQN agent.
+
+Implements Algorithm 1 plus the paper's two optimizations (Section IV-C):
+
+* the attention-based policy network (supplied by the caller), and
+* the *action mask*: invalid actions (busy / absent / no-match containers)
+  are excluded both when acting and inside the bootstrapped target's ``max``.
+
+Double DQN (action selected by the online network, evaluated by the target
+network) and Huber loss are standard stabilizers for small-budget training.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from repro.drl.losses import huber_loss
+from repro.drl.network import QNetwork
+from repro.drl.optim import Adam
+from repro.drl.replay import ReplayBuffer, Transition
+
+NEG_INF = -1e18
+
+
+def masked_argmax(q: np.ndarray, mask: np.ndarray) -> np.ndarray:
+    """Row-wise argmax of ``q`` restricted to ``mask`` (boolean, same shape)."""
+    if q.shape != mask.shape:
+        raise ValueError("q and mask shapes differ")
+    if not mask.any(axis=-1).all():
+        raise ValueError("every row needs at least one valid action")
+    return np.where(mask, q, NEG_INF).argmax(axis=-1)
+
+
+@dataclass(frozen=True)
+class DQNConfig:
+    """Hyperparameters of the DQN agent."""
+
+    gamma: float = 0.95
+    lr: float = 1e-3
+    batch_size: int = 32
+    buffer_capacity: int = 20_000
+    target_sync_every: int = 200
+    grad_clip: float = 10.0
+    double_dqn: bool = True
+    huber_delta: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.gamma <= 1.0:
+            raise ValueError("gamma must be in [0, 1]")
+        if self.batch_size < 1 or self.buffer_capacity < self.batch_size:
+            raise ValueError("buffer must hold at least one batch")
+        if self.target_sync_every < 1:
+            raise ValueError("target_sync_every must be >= 1")
+
+
+class DQNAgent:
+    """Masked DQN over a caller-supplied Q-network architecture.
+
+    Parameters
+    ----------
+    network_factory:
+        Zero-argument callable building a fresh Q-network; called twice
+        (online + target) so the two networks share architecture but not
+        parameters.
+    config:
+        Hyperparameters.
+    rng:
+        Random generator driving exploration and replay sampling.
+    """
+
+    def __init__(
+        self,
+        network_factory: Callable[[], QNetwork],
+        config: DQNConfig,
+        rng: np.random.Generator,
+    ) -> None:
+        self.config = config
+        self.rng = rng
+        self.online = network_factory()
+        self.target = network_factory()
+        self.target.copy_from(self.online)
+        self.buffer = ReplayBuffer(
+            config.buffer_capacity, self.online.state_dim, self.online.action_dim
+        )
+        self.optimizer = Adam(self.online.parameters(), lr=config.lr)
+        self.train_steps = 0
+        self.act_steps = 0
+
+    # -- acting ------------------------------------------------------------
+    @property
+    def action_dim(self) -> int:
+        return self.online.action_dim
+
+    def q_values(self, state: np.ndarray) -> np.ndarray:
+        """Online-network Q-values for a single state."""
+        return self.online.forward(state[None, :])[0]
+
+    def act(self, state: np.ndarray, mask: np.ndarray, epsilon: float) -> int:
+        """Epsilon-greedy masked action selection."""
+        mask = np.asarray(mask, dtype=bool)
+        if mask.shape != (self.action_dim,):
+            raise ValueError(f"mask must have shape ({self.action_dim},)")
+        if not mask.any():
+            raise ValueError("at least one action must be valid")
+        self.act_steps += 1
+        if self.rng.random() < epsilon:
+            valid = np.flatnonzero(mask)
+            return int(self.rng.choice(valid))
+        q = self.q_values(state)
+        return int(masked_argmax(q[None, :], mask[None, :])[0])
+
+    # -- learning -----------------------------------------------------------
+    def remember(self, transition: Transition) -> None:
+        """Store a transition in the replay buffer."""
+        self.buffer.add(transition)
+
+    def can_train(self) -> bool:
+        """Whether the buffer holds at least one batch."""
+        return len(self.buffer) >= self.config.batch_size
+
+    def train_step(self) -> Optional[float]:
+        """One gradient step on a replay batch; returns the loss or None."""
+        if not self.can_train():
+            return None
+        cfg = self.config
+        batch = self.buffer.sample(cfg.batch_size, self.rng)
+        targets = self._td_targets(batch)
+
+        q_all = self.online.forward(batch["states"])          # (B, A)
+        rows = np.arange(cfg.batch_size)
+        q_taken = q_all[rows, batch["actions"]]
+        loss, d_q_taken = huber_loss(q_taken, targets, cfg.huber_delta)
+
+        # Prioritized replay support: importance weights scale the gradient
+        # and the buffer learns the fresh TD errors.
+        if "weights" in batch:
+            d_q_taken = d_q_taken * batch["weights"]
+        if hasattr(self.buffer, "update_priorities") and "indices" in batch:
+            self.buffer.update_priorities(
+                batch["indices"], q_taken - targets
+            )
+
+        grad = np.zeros_like(q_all)
+        grad[rows, batch["actions"]] = d_q_taken
+        self.online.zero_grad()
+        self.online.backward(grad)
+        self.optimizer.clip_grad_norm(cfg.grad_clip)
+        self.optimizer.step()
+
+        self.train_steps += 1
+        if self.train_steps % cfg.target_sync_every == 0:
+            self.sync_target()
+        return loss
+
+    def _td_targets(self, batch: Dict[str, np.ndarray]) -> np.ndarray:
+        """Bootstrapped targets with masked (double-)DQN maximization."""
+        cfg = self.config
+        next_q_target = self.target.forward(batch["next_states"])
+        masks = batch["next_masks"]
+        if cfg.double_dqn:
+            next_q_online = self.online.forward(batch["next_states"])
+            best = masked_argmax(next_q_online, masks)
+        else:
+            best = masked_argmax(next_q_target, masks)
+        rows = np.arange(len(best))
+        bootstrap = next_q_target[rows, best]
+        # n-step returns bootstrap with gamma^n (n = 1 for plain DQN).
+        discount = cfg.gamma ** batch["n_steps"]
+        return batch["rewards"] + discount * np.where(
+            batch["dones"], 0.0, bootstrap
+        )
+
+    def sync_target(self) -> None:
+        """Hard-copy online parameters into the target network."""
+        self.target.copy_from(self.online)

@@ -1,0 +1,236 @@
+"""Minimal layer framework with manual backpropagation.
+
+Layers operate on the *last* axis of their input, so the same ``Linear``
+works for flat ``(batch, features)`` and token ``(batch, tokens, features)``
+tensors.  Each layer caches what its backward pass needs during forward and
+releases it after backward.  float64 throughout: the networks are small, and
+full precision keeps the numerical gradient checks tight.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+
+class Parameter:
+    """A trainable tensor with an accumulated gradient."""
+
+    __slots__ = ("value", "grad", "name")
+
+    def __init__(self, value: np.ndarray, name: str = "") -> None:
+        self.value = np.asarray(value, dtype=np.float64)
+        self.grad = np.zeros_like(self.value)
+        self.name = name
+
+    @property
+    def shape(self):
+        return self.value.shape
+
+    def zero_grad(self) -> None:
+        """Zero every accumulated gradient."""
+        self.grad[...] = 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Parameter({self.name or 'unnamed'}, shape={self.value.shape})"
+
+
+class Module:
+    """Base class: ``forward`` caches, ``backward`` consumes the cache."""
+
+    def parameters(self) -> List[Parameter]:
+        """All trainable parameters (collected recursively)."""
+        params: List[Parameter] = []
+        for attr in vars(self).values():
+            if isinstance(attr, Parameter):
+                params.append(attr)
+            elif isinstance(attr, Module):
+                params.extend(attr.parameters())
+            elif isinstance(attr, (list, tuple)):
+                for item in attr:
+                    if isinstance(item, Module):
+                        params.extend(item.parameters())
+        return params
+
+    def zero_grad(self) -> None:
+        """Zero every accumulated gradient."""
+        for p in self.parameters():
+            p.zero_grad()
+
+    def forward(self, x: np.ndarray) -> np.ndarray:  # pragma: no cover - abstract
+        """Forward pass; caches what backward() needs."""
+        raise NotImplementedError
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:  # pragma: no cover - abstract
+        """Backward pass; consumes the forward cache, accumulates grads."""
+        raise NotImplementedError
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.forward(x)
+
+    # -- (de)serialization ---------------------------------------------------
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Copy of all parameter values keyed by position."""
+        return {str(i): p.value.copy() for i, p in enumerate(self.parameters())}
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        """Load parameter values saved by state_dict()."""
+        params = self.parameters()
+        if len(state) != len(params):
+            raise ValueError(
+                f"state has {len(state)} tensors, module has {len(params)}"
+            )
+        for i, p in enumerate(params):
+            tensor = state[str(i)]
+            if tensor.shape != p.value.shape:
+                raise ValueError(
+                    f"parameter {i} shape mismatch: "
+                    f"{tensor.shape} vs {p.value.shape}"
+                )
+            p.value[...] = tensor
+
+    def copy_from(self, other: "Module") -> None:
+        """Hard-copy parameters from a same-architecture module."""
+        self.load_state_dict(other.state_dict())
+
+
+def glorot_init(
+    rng: np.random.Generator, fan_in: int, fan_out: int
+) -> np.ndarray:
+    """Glorot/Xavier uniform initialization."""
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=(fan_in, fan_out))
+
+
+class Linear(Module):
+    """Affine map over the last axis: ``y = x @ W + b``."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        rng: np.random.Generator,
+        bias: bool = True,
+        name: str = "linear",
+    ) -> None:
+        if in_features < 1 or out_features < 1:
+            raise ValueError("features must be positive")
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(glorot_init(rng, in_features, out_features),
+                                f"{name}.weight")
+        self.bias: Optional[Parameter] = (
+            Parameter(np.zeros(out_features), f"{name}.bias") if bias else None
+        )
+        self._x: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Forward pass; caches what backward() needs."""
+        if x.shape[-1] != self.in_features:
+            raise ValueError(
+                f"expected last dim {self.in_features}, got {x.shape[-1]}"
+            )
+        self._x = x
+        y = x @ self.weight.value
+        if self.bias is not None:
+            y = y + self.bias.value
+        return y
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        """Backward pass; consumes the forward cache, accumulates grads."""
+        if self._x is None:
+            raise RuntimeError("backward before forward")
+        x, self._x = self._x, None
+        # Fold all leading axes into one batch axis for the weight gradient.
+        x2 = x.reshape(-1, self.in_features)
+        g2 = grad.reshape(-1, self.out_features)
+        self.weight.grad += x2.T @ g2
+        if self.bias is not None:
+            self.bias.grad += g2.sum(axis=0)
+        return grad @ self.weight.value.T
+
+
+class ReLU(Module):
+    """Elementwise rectifier."""
+
+    def __init__(self) -> None:
+        self._mask: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Forward pass; caches what backward() needs."""
+        self._mask = x > 0
+        return np.where(self._mask, x, 0.0)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        """Backward pass; consumes the forward cache, accumulates grads."""
+        if self._mask is None:
+            raise RuntimeError("backward before forward")
+        mask, self._mask = self._mask, None
+        return np.where(mask, grad, 0.0)
+
+
+class LayerNorm(Module):
+    """Layer normalization over the last axis with learnable gain/shift."""
+
+    def __init__(self, dim: int, eps: float = 1e-5, name: str = "ln") -> None:
+        self.dim = dim
+        self.eps = eps
+        self.gamma = Parameter(np.ones(dim), f"{name}.gamma")
+        self.beta = Parameter(np.zeros(dim), f"{name}.beta")
+        self._cache = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Forward pass; caches what backward() needs."""
+        if x.shape[-1] != self.dim:
+            raise ValueError(f"expected last dim {self.dim}, got {x.shape[-1]}")
+        mean = x.mean(axis=-1, keepdims=True)
+        var = x.var(axis=-1, keepdims=True)
+        inv_std = 1.0 / np.sqrt(var + self.eps)
+        x_hat = (x - mean) * inv_std
+        self._cache = (x_hat, inv_std)
+        return self.gamma.value * x_hat + self.beta.value
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        """Backward pass; consumes the forward cache, accumulates grads."""
+        if self._cache is None:
+            raise RuntimeError("backward before forward")
+        x_hat, inv_std = self._cache
+        self._cache = None
+        # Reduce over every leading axis for the parameter gradients.
+        reduce_axes = tuple(range(grad.ndim - 1))
+        self.gamma.grad += (grad * x_hat).sum(axis=reduce_axes)
+        self.beta.grad += grad.sum(axis=reduce_axes)
+        g = grad * self.gamma.value
+        n = self.dim
+        # d/dx of layer norm (standard closed form).
+        return inv_std * (
+            g
+            - g.mean(axis=-1, keepdims=True)
+            - x_hat * (g * x_hat).mean(axis=-1, keepdims=True)
+        )
+
+
+class Sequential(Module):
+    """Chain of modules applied in order."""
+
+    def __init__(self, *modules: Module) -> None:
+        self.modules: List[Module] = list(modules)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Forward pass; caches what backward() needs."""
+        for m in self.modules:
+            x = m.forward(x)
+        return x
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        """Backward pass; consumes the forward cache, accumulates grads."""
+        for m in reversed(self.modules):
+            grad = m.backward(grad)
+        return grad
+
+    def __iter__(self):
+        return iter(self.modules)
+
+    def __len__(self) -> int:
+        return len(self.modules)

@@ -1,0 +1,98 @@
+"""Gradient-descent optimizers."""
+
+from __future__ import annotations
+
+import abc
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.drl.layers import Parameter
+
+
+class Optimizer(abc.ABC):
+    """Updates a fixed set of parameters from their accumulated gradients."""
+
+    def __init__(self, params: Sequence[Parameter], lr: float) -> None:
+        if lr <= 0:
+            raise ValueError("learning rate must be positive")
+        if not params:
+            raise ValueError("no parameters to optimize")
+        self.params: List[Parameter] = list(params)
+        self.lr = lr
+
+    @abc.abstractmethod
+    def step(self) -> None:
+        """Apply one update using the current gradients."""
+
+    def zero_grad(self) -> None:
+        """Zero every accumulated gradient."""
+        for p in self.params:
+            p.zero_grad()
+
+    def clip_grad_norm(self, max_norm: float) -> float:
+        """Globally rescale gradients to at most ``max_norm``; returns norm."""
+        total = np.sqrt(sum(float(np.sum(p.grad**2)) for p in self.params))
+        if total > max_norm and total > 0:
+            scale = max_norm / total
+            for p in self.params:
+                p.grad *= scale
+        return total
+
+
+class SGD(Optimizer):
+    """Plain stochastic gradient descent with optional momentum."""
+
+    def __init__(
+        self, params: Sequence[Parameter], lr: float = 1e-2, momentum: float = 0.0
+    ) -> None:
+        super().__init__(params, lr)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError("momentum must be in [0, 1)")
+        self.momentum = momentum
+        self._velocity = [np.zeros_like(p.value) for p in self.params]
+
+    def step(self) -> None:
+        """Apply one parameter update from the accumulated gradients."""
+        for p, v in zip(self.params, self._velocity):
+            if self.momentum:
+                v *= self.momentum
+                v += p.grad
+                p.value -= self.lr * v
+            else:
+                p.value -= self.lr * p.grad
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba) with bias correction."""
+
+    def __init__(
+        self,
+        params: Sequence[Parameter],
+        lr: float = 1e-3,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+    ) -> None:
+        super().__init__(params, lr)
+        if not 0 <= beta1 < 1 or not 0 <= beta2 < 1:
+            raise ValueError("betas must be in [0, 1)")
+        self.beta1, self.beta2, self.eps = beta1, beta2, eps
+        self._m = [np.zeros_like(p.value) for p in self.params]
+        self._v = [np.zeros_like(p.value) for p in self.params]
+        self._t = 0
+
+    def step(self) -> None:
+        """Apply one parameter update from the accumulated gradients."""
+        self._t += 1
+        b1, b2 = self.beta1, self.beta2
+        bias1 = 1.0 - b1**self._t
+        bias2 = 1.0 - b2**self._t
+        for p, m, v in zip(self.params, self._m, self._v):
+            m *= b1
+            m += (1 - b1) * p.grad
+            v *= b2
+            v += (1 - b2) * p.grad**2
+            m_hat = m / bias1
+            v_hat = v / bias2
+            p.value -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)

@@ -1,0 +1,151 @@
+"""Prioritized experience replay (Schaul et al., 2016).
+
+A drop-in alternative to the uniform :class:`~repro.drl.replay.ReplayBuffer`
+that samples transitions proportionally to their TD error.  Backed by a
+sum-tree so sampling and priority updates are O(log n).
+
+High-error transitions -- the rare decisions where repacking a container had
+delayed consequences -- get replayed more often, which is exactly the
+credit-assignment bottleneck of the MLCR scheduling MDP.  Importance-sampling
+weights correct the induced bias.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.drl.replay import ReplayBuffer, Transition
+
+
+class SumTree:
+    """A binary-indexed sum tree over ``capacity`` priorities."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        # Full binary tree in an array: leaves at [capacity-1, 2*capacity-1).
+        self._tree = np.zeros(2 * capacity - 1, dtype=np.float64)
+
+    @property
+    def total(self) -> float:
+        return float(self._tree[0])
+
+    def set(self, index: int, priority: float) -> None:
+        """Set leaf ``index`` to ``priority`` and propagate the delta up."""
+        if not 0 <= index < self.capacity:
+            raise IndexError(index)
+        if priority < 0:
+            raise ValueError("priority must be >= 0")
+        node = index + self.capacity - 1
+        delta = priority - self._tree[node]
+        while True:
+            self._tree[node] += delta
+            if node == 0:
+                break
+            node = (node - 1) // 2
+
+    def get(self, index: int) -> float:
+        """The priority stored at leaf ``index``."""
+        return float(self._tree[index + self.capacity - 1])
+
+    def find(self, mass: float) -> int:
+        """Find the leaf where cumulative priority reaches ``mass``."""
+        if self.total <= 0:
+            raise ValueError("cannot sample from an empty tree")
+        # Keep the mass strictly inside [0, total); a relative bound stays
+        # valid even for denormal-scale totals.
+        mass = min(max(mass, 0.0), self.total * (1.0 - 1e-12))
+        node = 0
+        while node < self.capacity - 1:  # internal node
+            left = 2 * node + 1
+            # Half-open intervals: mass strictly below the left subtree's
+            # total goes left, otherwise right -- so zero-priority leaves
+            # can never be selected.
+            if mass < self._tree[left]:
+                node = left
+            else:
+                mass -= self._tree[left]
+                node = left + 1
+        return node - (self.capacity - 1)
+
+
+class PrioritizedReplayBuffer(ReplayBuffer):
+    """TD-error-prioritized replay with importance-sampling weights.
+
+    Parameters
+    ----------
+    alpha:
+        Priority exponent (0 = uniform, 1 = fully proportional).
+    beta:
+        Importance-sampling correction exponent.
+    epsilon:
+        Floor added to priorities so no transition starves.
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        state_dim: int,
+        action_dim: int,
+        alpha: float = 0.6,
+        beta: float = 0.4,
+        epsilon: float = 1e-3,
+    ) -> None:
+        super().__init__(capacity, state_dim, action_dim)
+        if not 0.0 <= alpha <= 1.0:
+            raise ValueError("alpha must be in [0, 1]")
+        if not 0.0 <= beta <= 1.0:
+            raise ValueError("beta must be in [0, 1]")
+        self.alpha = alpha
+        self.beta = beta
+        self.epsilon = epsilon
+        self._tree = SumTree(capacity)
+        self._max_priority = 1.0
+
+    def add(self, transition: Transition) -> None:
+        """Append a transition, updating its sampling priority."""
+        index = self._head  # the slot the parent class will fill
+        super().add(transition)
+        # New transitions get max priority so they are seen at least once.
+        self._tree.set(index, self._max_priority**self.alpha)
+
+    def sample(
+        self, batch_size: int, rng: np.random.Generator
+    ) -> Dict[str, np.ndarray]:
+        """Priority-proportional sample; adds ``indices`` and ``weights``."""
+        if len(self) == 0:
+            raise ValueError("cannot sample from an empty buffer")
+        total = self._tree.total
+        masses = rng.uniform(0.0, total, size=batch_size)
+        indices = np.array([self._tree.find(m) for m in masses],
+                           dtype=np.int64)
+        indices = np.minimum(indices, len(self) - 1)
+        batch = {
+            "states": self._states[indices],
+            "actions": self._actions[indices],
+            "rewards": self._rewards[indices],
+            "next_states": self._next_states[indices],
+            "next_masks": self._next_masks[indices],
+            "dones": self._dones[indices],
+            "n_steps": self._n_steps[indices],
+            "indices": indices,
+        }
+        probs = np.array([self._tree.get(int(i)) for i in indices])
+        probs = np.maximum(probs, 1e-12) / max(total, 1e-12)
+        weights = (len(self) * probs) ** (-self.beta)
+        batch["weights"] = weights / weights.max()
+        return batch
+
+    def update_priorities(
+        self, indices: np.ndarray, td_errors: np.ndarray
+    ) -> None:
+        """Refresh priorities from the latest TD errors."""
+        if len(indices) != len(td_errors):
+            raise ValueError("indices and td_errors must align")
+        for index, err in zip(indices, td_errors):
+            priority = (abs(float(err)) + self.epsilon)
+            self._max_priority = max(self._max_priority, priority)
+            self._tree.set(int(index), priority**self.alpha)

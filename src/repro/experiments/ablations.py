@@ -1,0 +1,153 @@
+"""Ablations of the MLCR design choices (DESIGN.md section 5).
+
+Four variants trained on the same workload/pool and compared on held-out
+seeds:
+
+* **full** -- attention trunk + action mask + greedy demonstration seeding;
+* **no-mask** -- the Section IV-C mask removed (invalid actions become cold
+  starts and pollute exploration/targets);
+* **mlp** -- attention trunk replaced by a flat MLP;
+* **no-demos** -- replay buffer not seeded with Greedy-Match rollouts.
+
+Also reports the Lookahead clairvoyant heuristic as a headroom reference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.analysis.report import ascii_table
+from repro.cluster.simulator import SimulationConfig
+from repro.core.mlcr import train_mlcr_scheduler
+from repro.experiments.common import (
+    ExperimentScale,
+    evaluate_scheduler,
+    make_training_factory,
+    pool_sizes,
+)
+from repro.schedulers.greedy import GreedyMatchScheduler
+from repro.schedulers.lookahead import LookaheadScheduler
+from repro.workloads.fstartbench import overall_workload
+
+VARIANTS = ("full", "no-mask", "mlp", "no-demos")
+
+
+@dataclass(frozen=True)
+class AblationRow:
+    variant: str
+    mean_total_startup_s: float
+    mean_cold_starts: float
+    final_training_latency_s: float
+
+
+@dataclass(frozen=True)
+class AblationResult:
+    rows: List[AblationRow]
+    greedy_total_s: float
+    lookahead_total_s: float
+    capacity_mb: float
+
+    def row(self, variant: str) -> AblationRow:
+        """The row for one method."""
+        for r in self.rows:
+            if r.variant == variant:
+                return r
+        raise KeyError(variant)
+
+
+def _variant_config(base, variant: str):
+    if variant == "full":
+        return base
+    if variant == "no-mask":
+        return replace(base, use_mask=False)
+    if variant == "mlp":
+        return replace(base, use_attention=False)
+    if variant == "no-demos":
+        return replace(base, demo_episodes=0)
+    raise KeyError(variant)
+
+
+def run(scale: Optional[ExperimentScale] = None) -> AblationResult:
+    """Run the experiment; returns its result dataclass."""
+    scale = scale or ExperimentScale.from_env()
+    capacity = pool_sizes(overall_workload(seed=0))["Tight"]
+    base_cfg = scale.mlcr_config()
+    eval_seeds = range(scale.repeats)
+
+    rows: List[AblationRow] = []
+    for variant in VARIANTS:
+        cfg = _variant_config(base_cfg, variant)
+        scheduler, history = train_mlcr_scheduler(
+            workload_factory=make_training_factory(
+                lambda s: overall_workload(seed=s), scale
+            ),
+            sim_config=SimulationConfig(pool_capacity_mb=capacity),
+            config=cfg,
+        )
+        totals, colds = [], []
+        for seed in eval_seeds:
+            res = evaluate_scheduler(
+                scheduler, overall_workload(seed=seed), capacity, "Tight"
+            )
+            totals.append(res.total_startup_s)
+            colds.append(res.cold_starts)
+        rows.append(
+            AblationRow(
+                variant=variant,
+                mean_total_startup_s=float(np.mean(totals)),
+                mean_cold_starts=float(np.mean(colds)),
+                final_training_latency_s=history.episode_latencies[-1],
+            )
+        )
+
+    greedy_totals, lookahead_totals = [], []
+    for seed in eval_seeds:
+        wl = overall_workload(seed=seed)
+        greedy_totals.append(
+            evaluate_scheduler(GreedyMatchScheduler(), wl, capacity,
+                               "Tight").total_startup_s
+        )
+        lookahead_totals.append(
+            evaluate_scheduler(LookaheadScheduler(), wl, capacity,
+                               "Tight").total_startup_s
+        )
+    return AblationResult(
+        rows=rows,
+        greedy_total_s=float(np.mean(greedy_totals)),
+        lookahead_total_s=float(np.mean(lookahead_totals)),
+        capacity_mb=capacity,
+    )
+
+
+def report(result: AblationResult) -> str:
+    """Render the result as the paper-style ASCII report."""
+    rows = [
+        [
+            r.variant,
+            f"{r.mean_total_startup_s:.1f}",
+            f"{r.mean_cold_starts:.1f}",
+            f"{r.final_training_latency_s:.1f}",
+        ]
+        for r in result.rows
+    ]
+    table = ascii_table(
+        ["variant", "eval total startup s", "cold starts",
+         "final train latency s"],
+        rows,
+        title=f"MLCR ablations (Tight pool, {result.capacity_mb:.0f}MB)",
+    )
+    return "\n".join(
+        [
+            table,
+            "",
+            f"Greedy-Match reference:  {result.greedy_total_s:.1f}s",
+            f"Lookahead (clairvoyant): {result.lookahead_total_s:.1f}s",
+        ]
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI convenience
+    print(report(run()))

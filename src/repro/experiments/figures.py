@@ -1,0 +1,123 @@
+"""Render experiment results as SVG figure files.
+
+Bridges the experiment result dataclasses and :mod:`repro.analysis.svgplot`;
+used by ``runall --figures`` to emit one SVG per reproduced figure.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List
+
+import numpy as np
+
+from repro.analysis.svgplot import (
+    SvgCanvas,
+    box_chart,
+    grouped_bar_chart,
+    line_chart,
+)
+from repro.experiments.fig8_overall import METHOD_ORDER, Fig8Result
+from repro.experiments.fig9_trajectory import Fig9Result
+from repro.experiments.fig10_memory import Fig10Result
+from repro.experiments.fig11_benchmarks import Fig11Result
+
+
+def fig8_latency_chart(result: Fig8Result) -> SvgCanvas:
+    """Fig 8a: total startup latency, grouped by pool size."""
+    pools = list(result.capacities)
+    series = {
+        method: [result.cell(method, pool).total_startup_s for pool in pools]
+        for method in METHOD_ORDER
+    }
+    return grouped_bar_chart(
+        pools, series,
+        title="Fig 8a: total startup latency",
+        y_label="seconds",
+    )
+
+
+def fig8_cold_chart(result: Fig8Result) -> SvgCanvas:
+    """Fig 8b: cold-start counts, grouped by pool size."""
+    pools = list(result.capacities)
+    series = {
+        method: [result.cell(method, pool).cold_starts for pool in pools]
+        for method in METHOD_ORDER
+    }
+    return grouped_bar_chart(
+        pools, series,
+        title="Fig 8b: cold starts",
+        y_label="count",
+    )
+
+
+def fig9_chart(result: Fig9Result, samples: int = 80) -> SvgCanvas:
+    """Fig 9: cumulative startup latency along the arrival stream."""
+    n = len(result.arrival_index)
+    picks = np.unique(np.linspace(0, n - 1, min(samples, n)).astype(int))
+    return line_chart(
+        [float(result.arrival_index[i]) for i in picks],
+        {
+            "Greedy-Match": [float(result.greedy_cum_latency[i])
+                             for i in picks],
+            "MLCR": [float(result.mlcr_cum_latency[i]) for i in picks],
+        },
+        title="Fig 9: cumulative startup latency (Loose pool)",
+        x_label="arrival index",
+        y_label="seconds",
+    )
+
+
+def fig10_chart(result: Fig10Result) -> SvgCanvas:
+    """Fig 10: peak warm memory per method."""
+    series = {
+        "peak warm MB": [
+            result.row(m).peak_warm_memory_mb for m in METHOD_ORDER
+        ],
+    }
+    return grouped_bar_chart(
+        METHOD_ORDER, series,
+        title="Fig 10: warm resource consumption (Loose pool)",
+        y_label="MB",
+    )
+
+
+def fig11_chart(result: Fig11Result) -> SvgCanvas:
+    """Fig 11x: latency distributions per workload and method."""
+    groups: Dict[str, Dict] = {}
+    for box in result.boxes:
+        groups.setdefault(box.workload, {})[box.method] = box.stats
+    return box_chart(
+        groups,
+        title=f"Fig 11{result.subfigure}: total startup latency",
+        y_label="seconds",
+    )
+
+
+def save_figures(
+    results: Dict[str, object], outdir: Path
+) -> List[Path]:
+    """Render every available result into ``outdir``; returns file paths.
+
+    ``results`` maps experiment ids (``fig8``, ``fig9``, ``fig10``,
+    ``fig11a``...) to their result objects; unknown ids are skipped.
+    """
+    outdir = Path(outdir)
+    outdir.mkdir(parents=True, exist_ok=True)
+    written: List[Path] = []
+
+    def emit(name: str, canvas: SvgCanvas) -> None:
+        written.append(canvas.save(outdir / f"{name}.svg"))
+
+    if "fig8" in results:
+        emit("fig8a_latency", fig8_latency_chart(results["fig8"]))
+        emit("fig8b_cold_starts", fig8_cold_chart(results["fig8"]))
+    if "fig9" in results:
+        emit("fig9_trajectory", fig9_chart(results["fig9"]))
+    if "fig10" in results:
+        emit("fig10_memory", fig10_chart(results["fig10"]))
+    for sub in ("a", "b", "c"):
+        key = f"fig11{sub}"
+        if key in results:
+            emit(key, fig11_chart(results[key]))
+    return written

@@ -1,0 +1,134 @@
+"""Run every paper experiment and write a combined report.
+
+Used to regenerate the data section of EXPERIMENTS.md::
+
+    python -m repro.experiments.runall [output.md] [--figures DIR]
+
+Honors ``REPRO_SCALE``.  The MLCR training cache is shared across
+experiments, so fig8/fig9/fig10 train each pool size once.  With
+``--figures`` the fig8/9/10/11 results are additionally rendered as SVG
+files into the given directory.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from pathlib import Path
+from typing import Callable, List, Tuple
+
+from repro.experiments import (
+    ablations,
+    fig1_breakdown,
+    fig2_motivation,
+    fig3_dockerhub,
+    fig8_overall,
+    fig9_trajectory,
+    fig10_memory,
+    fig11_benchmarks,
+    overhead,
+    tab2_functions,
+)
+from repro.experiments.common import ExperimentScale
+
+
+def _experiments(
+    scale: ExperimentScale, collected: dict
+) -> List[Tuple[str, str, Callable[[], str]]]:
+    def keep(key: str, result):
+        collected[key] = result
+        return result
+
+    return [
+        ("fig1", "Fig 1 - startup breakdown (C vs W)",
+         lambda: fig1_breakdown.report(fig1_breakdown.run())),
+        ("fig2", "Fig 2 - greedy vs planned reuse",
+         lambda: fig2_motivation.report(fig2_motivation.run())),
+        ("fig3", "Fig 3 - Docker Hub popularity",
+         lambda: fig3_dockerhub.report(fig3_dockerhub.run())),
+        ("tab2", "Table II - FStartBench functions",
+         lambda: tab2_functions.report(tab2_functions.run())),
+        ("fig8", "Fig 8 - overall latency & cold starts",
+         lambda: fig8_overall.report(keep("fig8", fig8_overall.run(scale)))),
+        ("fig9", "Fig 9 - cumulative trajectories",
+         lambda: fig9_trajectory.report(
+             keep("fig9", fig9_trajectory.run(scale)))),
+        ("fig10", "Fig 10 - warm resource consumption",
+         lambda: fig10_memory.report(
+             keep("fig10", fig10_memory.run(scale)))),
+        ("fig11a", "Fig 11a - function similarity",
+         lambda: fig11_benchmarks.report(keep(
+             "fig11a",
+             fig11_benchmarks.run_subfigure("a:similarity", scale)))),
+        ("fig11b", "Fig 11b - package size variance",
+         lambda: fig11_benchmarks.report(keep(
+             "fig11b",
+             fig11_benchmarks.run_subfigure("b:variance", scale)))),
+        ("fig11c", "Fig 11c - arrival patterns",
+         lambda: fig11_benchmarks.report(keep(
+             "fig11c",
+             fig11_benchmarks.run_subfigure("c:arrival", scale)))),
+        ("overhead", "Section VI-D - scheduler overhead",
+         lambda: overhead.report(overhead.run(scale))),
+        ("ablations", "Ablations",
+         lambda: ablations.report(ablations.run(scale))),
+    ]
+
+
+def run_all(
+    output: Path | None = None,
+    scale: ExperimentScale | None = None,
+    figures_dir: Path | None = None,
+) -> str:
+    """Run every experiment; returns (and optionally writes) the report."""
+    scale = scale or ExperimentScale.from_env()
+    collected: dict = {}
+    sections: List[str] = [
+        "# MLCR reproduction - full experiment run",
+        f"scale: repeats={scale.repeats}, "
+        f"train_episodes={scale.train_episodes}, restarts={scale.restarts}",
+    ]
+    for _key, title, runner in _experiments(scale, collected):
+        start = time.time()
+        print(f"running: {title} ...", flush=True)
+        try:
+            body = runner()
+        except Exception as exc:  # pragma: no cover - surfaced, not hidden
+            body = f"FAILED: {exc!r}"
+        elapsed = time.time() - start
+        sections.append(f"\n## {title}\n\n```\n{body}\n```\n"
+                        f"_({elapsed:.1f}s)_")
+        print(f"  done in {elapsed:.1f}s", flush=True)
+    if figures_dir is not None:
+        from repro.experiments.figures import save_figures
+
+        written = save_figures(collected, figures_dir)
+        sections.append(
+            "\n## Figures\n\n" + "\n".join(f"* `{p}`" for p in written)
+        )
+        print(f"wrote {len(written)} figure files to {figures_dir}")
+    text = "\n".join(sections)
+    if output is not None:
+        Path(output).write_text(text)
+        print(f"wrote {output}")
+    return text
+
+
+def _parse_args(argv: List[str]) -> Tuple[Path | None, Path | None]:
+    output: Path | None = None
+    figures: Path | None = None
+    rest = list(argv)
+    while rest:
+        arg = rest.pop(0)
+        if arg == "--figures":
+            if not rest:
+                raise SystemExit("--figures needs a directory")
+            figures = Path(rest.pop(0))
+        else:
+            output = Path(arg)
+    return output, figures
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI convenience
+    out, figs = _parse_args(sys.argv[1:])
+    run_all(out, figures_dir=figs)

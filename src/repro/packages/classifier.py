@@ -1,0 +1,196 @@
+"""Automatic package-level classification (the paper's future work).
+
+The paper relies on "predefined tags given by users or experts" to assign
+packages to the OS / language / runtime levels and names an automated
+classifier as future work (Section VIII).  This module implements that tool:
+a heuristic classifier combining
+
+1. **exact knowledge** -- names already in a catalog keep their tag;
+2. **lexical rules** -- curated keyword families for OS bases, language
+   stacks and well-known runtime libraries;
+3. **structural hints** -- how the package was installed (``FROM`` -> OS,
+   ``pip/npm/gem install`` -> runtime, source builds of interpreters ->
+   language);
+4. **a size prior** -- tie-breaks by typical footprints (OS bases and
+   toolchains are large, runtime libraries usually small).
+
+Every classification returns a confidence in ``[0, 1]`` so callers can route
+low-confidence packages to a human, which is exactly how the paper's
+expert-tag workflow would adopt the tool.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.packages.catalog import PackageCatalog
+from repro.packages.package import PackageLevel
+
+# Lexical families.  Matching is by substring on the lowercase name.
+_OS_KEYWORDS = (
+    "alpine", "debian", "ubuntu", "centos", "fedora", "busybox", "rocky",
+    "suse", "arch", "glibc", "musl", "coreutils", "systemd", "openssl",
+    "ca-certificates", "base-files", "linux",
+)
+_LANGUAGE_KEYWORDS = (
+    "python", "openjdk", "jdk", "jre", "nodejs", "node", "golang", "rust",
+    "ruby", "perl", "php", "dotnet", "erlang", "gcc", "clang", "toolchain",
+    "pip", "npm", "maven", "gradle", "cargo", "composer", "interpreter",
+    "runtime-env",
+)
+_RUNTIME_KEYWORDS = (
+    "flask", "django", "express", "gin", "spring", "numpy", "pandas",
+    "matplotlib", "scipy", "tensorflow", "torch", "sklearn", "redis-client",
+    "sdk", "client", "lib", "framework", "requests", "axios",
+)
+
+
+class InstallHint:
+    """How a package was installed (structural evidence)."""
+
+    FROM_IMAGE = "from_image"          # Dockerfile FROM -> OS
+    SYSTEM_PACKAGE = "system_package"  # apt/yum/apk -> OS-leaning
+    SOURCE_BUILD = "source_build"      # configure/make of a stack -> language
+    PACKAGE_MANAGER = "package_manager"  # pip/npm/gem -> runtime-leaning
+    UNKNOWN = "unknown"
+
+    ALL = (FROM_IMAGE, SYSTEM_PACKAGE, SOURCE_BUILD, PACKAGE_MANAGER, UNKNOWN)
+
+
+@dataclass(frozen=True)
+class Classification:
+    """A classified package with supporting evidence."""
+
+    name: str
+    level: PackageLevel
+    confidence: float
+    evidence: Tuple[str, ...]
+
+    @property
+    def needs_review(self) -> bool:
+        """Whether a human should double-check (low-confidence result)."""
+        return self.confidence < 0.6
+
+
+class PackageLevelClassifier:
+    """Heuristic OS/language/runtime classifier with confidence scores."""
+
+    def __init__(
+        self,
+        catalog: Optional[PackageCatalog] = None,
+        review_threshold: float = 0.6,
+    ) -> None:
+        self.catalog = catalog
+        self.review_threshold = review_threshold
+        self._known: Dict[str, PackageLevel] = {}
+        if catalog is not None:
+            for pkg in catalog.all_packages():
+                self._known[pkg.name.lower()] = pkg.level
+
+    # -- public API ---------------------------------------------------------
+    def classify(
+        self,
+        name: str,
+        size_mb: Optional[float] = None,
+        install_hint: str = InstallHint.UNKNOWN,
+    ) -> Classification:
+        """Classify one package name.
+
+        Parameters
+        ----------
+        name:
+            Package name (version suffixes like ``==1.2`` are ignored).
+        size_mb:
+            Optional size prior.
+        install_hint:
+            One of :class:`InstallHint`'s constants.
+        """
+        if install_hint not in InstallHint.ALL:
+            raise ValueError(f"unknown install hint {install_hint!r}")
+        base = name.split("==")[0].strip().lower()
+        if not base:
+            raise ValueError("package name must be non-empty")
+
+        known = self._known.get(base)
+        if known is not None:
+            return Classification(base, known, 1.0, ("catalog",))
+
+        scores = {lvl: 0.0 for lvl in PackageLevel}
+        evidence: List[str] = []
+        self._lexical(base, scores, evidence)
+        self._structural(install_hint, scores, evidence)
+        self._size_prior(size_mb, scores, evidence)
+
+        total = sum(scores.values())
+        if total == 0.0:
+            # Nothing matched: runtime is the safest default (most packages
+            # in real images are application libraries).
+            return Classification(
+                base, PackageLevel.RUNTIME, 0.34, ("default",)
+            )
+        level = max(scores, key=lambda lvl: (scores[lvl], -int(lvl)))
+        confidence = scores[level] / total
+        return Classification(base, level, confidence, tuple(evidence))
+
+    def classify_many(
+        self, names: Sequence[str], **kwargs
+    ) -> List[Classification]:
+        """Classify a batch of names with shared hints."""
+        return [self.classify(n, **kwargs) for n in names]
+
+    def review_queue(
+        self, classifications: Sequence[Classification]
+    ) -> List[Classification]:
+        """The low-confidence subset a human expert should verify."""
+        return [c for c in classifications
+                if c.confidence < self.review_threshold]
+
+    # -- scoring components ---------------------------------------------------
+    @staticmethod
+    def _lexical(base: str, scores: Dict, evidence: List[str]) -> None:
+        for keyword in _OS_KEYWORDS:
+            if keyword in base:
+                scores[PackageLevel.OS] += 2.0
+                evidence.append(f"lexical:os:{keyword}")
+                break
+        for keyword in _LANGUAGE_KEYWORDS:
+            if keyword in base:
+                scores[PackageLevel.LANGUAGE] += 2.0
+                evidence.append(f"lexical:language:{keyword}")
+                break
+        for keyword in _RUNTIME_KEYWORDS:
+            if keyword in base:
+                scores[PackageLevel.RUNTIME] += 1.5
+                evidence.append(f"lexical:runtime:{keyword}")
+                break
+
+    @staticmethod
+    def _structural(hint: str, scores: Dict, evidence: List[str]) -> None:
+        weights = {
+            InstallHint.FROM_IMAGE: (3.0, 0.0, 0.0),
+            InstallHint.SYSTEM_PACKAGE: (1.5, 0.5, 0.0),
+            InstallHint.SOURCE_BUILD: (0.0, 2.0, 0.5),
+            InstallHint.PACKAGE_MANAGER: (0.0, 0.25, 2.0),
+            InstallHint.UNKNOWN: (0.0, 0.0, 0.0),
+        }[hint]
+        if any(weights):
+            evidence.append(f"structural:{hint}")
+        scores[PackageLevel.OS] += weights[0]
+        scores[PackageLevel.LANGUAGE] += weights[1]
+        scores[PackageLevel.RUNTIME] += weights[2]
+
+    @staticmethod
+    def _size_prior(
+        size_mb: Optional[float], scores: Dict, evidence: List[str]
+    ) -> None:
+        if size_mb is None:
+            return
+        if size_mb >= 150.0:
+            # Very large artifacts are OS bases or toolchains.
+            scores[PackageLevel.OS] += 0.5
+            scores[PackageLevel.LANGUAGE] += 0.75
+            evidence.append("size:large")
+        elif size_mb <= 20.0:
+            scores[PackageLevel.RUNTIME] += 0.5
+            evidence.append("size:small")

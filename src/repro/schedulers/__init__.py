@@ -1,0 +1,39 @@
+"""Container-reuse schedulers: the paper's comparison set.
+
+* :class:`ColdOnlyScheduler` -- always cold start (lower-bound sanity check).
+* :class:`KeepAliveScheduler` -- exact-configuration reuse, 10-minute TTL,
+  reject-when-full (the public-cloud default).
+* :class:`LRUScheduler` -- exact-configuration reuse with LRU eviction.
+* :class:`FaasCacheScheduler` -- exact-configuration reuse with greedy-dual
+  eviction priorities (Fuerst & Sharma).
+* :class:`GreedyMatchScheduler` -- multi-level (Table I) matching, picking
+  the deepest-matching container greedily; LRU eviction.
+* :class:`LookaheadScheduler` -- a clairvoyant bounded-horizon searcher used
+  as an ablation upper bound (not in the paper's comparison set).
+* MLCR itself lives in :mod:`repro.core` (DRL-based) and plugs into the same
+  :class:`Scheduler` interface.
+"""
+
+from repro.schedulers.base import Decision, Scheduler, SchedulingContext
+from repro.schedulers.coldonly import ColdOnlyScheduler
+from repro.schedulers.keepalive import KeepAliveScheduler
+from repro.schedulers.lru import LRUScheduler
+from repro.schedulers.faascache import FaasCacheScheduler
+from repro.schedulers.greedy import GreedyMatchScheduler
+from repro.schedulers.lookahead import LookaheadScheduler
+from repro.schedulers.walways import AlwaysAdoptScheduler
+from repro.schedulers.zygote import ZygoteScheduler, build_zygote_images
+
+__all__ = [
+    "Scheduler",
+    "SchedulingContext",
+    "ColdOnlyScheduler",
+    "KeepAliveScheduler",
+    "LRUScheduler",
+    "FaasCacheScheduler",
+    "GreedyMatchScheduler",
+    "LookaheadScheduler",
+    "AlwaysAdoptScheduler",
+    "ZygoteScheduler",
+    "build_zygote_images",
+]

@@ -1,0 +1,130 @@
+"""Scheduler interface shared by all policies (including MLCR).
+
+The simulator calls :meth:`Scheduler.decide` once per arriving invocation
+with a :class:`SchedulingContext` -- a read-only view of the warm pool plus
+the cost model -- and receives a :class:`~repro.cluster.simulator.Decision`:
+either reuse a specific idle container or cold-start a new one.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.containers.container import Container
+from repro.containers.costmodel import StartupCostModel
+from repro.containers.matching import MatchLevel, match_level
+from repro.workloads.workload import Invocation
+
+
+@dataclass(frozen=True)
+class Decision:
+    """A scheduling decision: reuse ``container_id`` or cold-start (None).
+
+    ``preserve_image`` requests zygote-style reuse: the container serves the
+    function but keeps its own (superset) image instead of being repacked to
+    the function's image, so it can keep serving the whole function family.
+    Only meaningful for warm decisions.
+    """
+
+    container_id: Optional[int] = None
+    preserve_image: bool = False
+
+    def __post_init__(self) -> None:
+        if self.preserve_image and self.container_id is None:
+            raise ValueError("preserve_image requires a warm decision")
+
+    @property
+    def is_cold(self) -> bool:
+        return self.container_id is None
+
+    @classmethod
+    def cold(cls) -> "Decision":
+        return cls(container_id=None)
+
+    @classmethod
+    def warm(cls, container_id: int, preserve_image: bool = False) -> "Decision":
+        return cls(container_id=container_id, preserve_image=preserve_image)
+
+
+@dataclass(frozen=True)
+class SchedulingContext:
+    """Read-only view handed to schedulers at each decision point.
+
+    Attributes
+    ----------
+    now:
+        Current simulation time.
+    invocation:
+        The arriving invocation to place.
+    idle_containers:
+        Idle warm containers, least-recently-used first.
+    cost_model:
+        The cluster's startup cost model (for latency estimation).
+    pool_capacity_mb, pool_used_mb:
+        Warm-pool capacity state.
+    """
+
+    now: float
+    invocation: Invocation
+    idle_containers: Tuple[Container, ...]
+    cost_model: StartupCostModel
+    pool_capacity_mb: float
+    pool_used_mb: float
+
+    # -- helpers every scheduler needs -------------------------------------
+    def match_of(self, container: Container) -> MatchLevel:
+        """Table-I match level between the invocation and ``container``."""
+        return match_level(self.invocation.spec.image, container.image)
+
+    def estimated_latency(self, container: Optional[Container]) -> float:
+        """Estimated startup latency reusing ``container`` (None = cold)."""
+        match = MatchLevel.NO_MATCH if container is None else self.match_of(container)
+        return self.cost_model.latency_s(
+            self.invocation.spec.image, match, self.invocation.spec.function_init_s
+        )
+
+    def reusable_containers(self) -> List[Tuple[Container, MatchLevel]]:
+        """Idle containers with a non-trivial match, deepest-match first.
+
+        Ties on match level keep most-recently-used first so schedulers that
+        take the head get LRU-friendly behaviour.
+        """
+        scored = [
+            (c, self.match_of(c))
+            for c in self.idle_containers
+        ]
+        reusable = [(c, m) for c, m in scored if m.is_reusable]
+        # idle_containers is LRU-first; reverse for MRU-first tie-breaking.
+        reusable.reverse()
+        reusable.sort(key=lambda cm: -int(cm[1]))
+        return reusable
+
+    def exact_matches(self) -> List[Container]:
+        """Idle containers whose configuration fully matches (L3)."""
+        return [c for c, m in self.reusable_containers() if m is MatchLevel.L3]
+
+    def match_counts(self) -> Dict[MatchLevel, int]:
+        """Idle-container counts per Table-I match level."""
+        counts: Dict[MatchLevel, int] = {lvl: 0 for lvl in MatchLevel}
+        for c in self.idle_containers:
+            counts[self.match_of(c)] += 1
+        return counts
+
+
+class Scheduler(abc.ABC):
+    """Base class for container-reuse scheduling policies."""
+
+    #: Human-readable policy name used in reports and figures.
+    name: str = "scheduler"
+
+    @abc.abstractmethod
+    def decide(self, ctx: SchedulingContext) -> Decision:
+        """Choose a warm container (or cold start) for ``ctx.invocation``."""
+
+    def reset(self) -> None:
+        """Clear per-run state; called by experiment harnesses between runs."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.name!r}>"

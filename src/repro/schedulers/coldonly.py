@@ -1,0 +1,19 @@
+"""Always-cold scheduler: a sanity-check lower bound on warm reuse."""
+
+from __future__ import annotations
+
+from repro.schedulers.base import Decision, Scheduler, SchedulingContext
+
+
+class ColdOnlyScheduler(Scheduler):
+    """Cold-start every invocation (no reuse at all).
+
+    Not part of the paper's comparison set, but useful as the worst-case
+    reference against which warm-start savings are normalized in tests.
+    """
+
+    name = "ColdOnly"
+
+    def decide(self, ctx: SchedulingContext) -> Decision:
+        """Choose a warm container (or cold start) for ``ctx.invocation``."""
+        return Decision.cold()

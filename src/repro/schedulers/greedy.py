@@ -1,0 +1,31 @@
+"""Greedy-Match: multi-level matching with a best-effort greedy pick.
+
+The paper's strongest non-DRL comparison: like MLCR it may reuse containers
+across different functions at any Table-I level, but it always grabs the
+deepest-matching container available *right now* -- which can strand future
+invocations (the Fig. 2 pathology MLCR's DRL scheduler learns to avoid).
+Eviction is LRU, as in MLCR.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.eviction import LRUEviction
+from repro.schedulers.base import Decision, Scheduler, SchedulingContext
+
+
+class GreedyMatchScheduler(Scheduler):
+    """Pick the deepest-matching idle container; cold-start otherwise."""
+
+    name = "Greedy-Match"
+
+    @staticmethod
+    def make_eviction_policy() -> LRUEviction:
+        return LRUEviction()
+
+    def decide(self, ctx: SchedulingContext) -> Decision:
+        """Choose a warm container (or cold start) for ``ctx.invocation``."""
+        reusable = ctx.reusable_containers()
+        if reusable:
+            container, _level = reusable[0]
+            return Decision.warm(container.container_id)
+        return Decision.cold()

@@ -1,0 +1,117 @@
+"""Clairvoyant bounded-horizon scheduler (ablation upper bound).
+
+Not part of the paper's comparison set.  This scheduler is told the full
+workload in advance (:meth:`observe_workload`) and, at each decision, weighs
+the immediate saving of grabbing a container against the best saving any of
+the next ``horizon`` invocations could extract from the *same* container --
+a direct operationalization of the paper's Fig. 2 insight.  It gives a cheap
+estimate of how much headroom exists beyond Greedy-Match, which bounds what
+the DRL scheduler can hope to learn.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.containers.matching import match_level
+from repro.schedulers.base import Decision, Scheduler, SchedulingContext
+from repro.workloads.workload import Invocation, Workload
+
+
+class LookaheadScheduler(Scheduler):
+    """Greedy matching tempered by clairvoyant opportunity costs."""
+
+    name = "Lookahead"
+
+    def __init__(self, horizon: int = 8) -> None:
+        if horizon < 0:
+            raise ValueError("horizon must be >= 0")
+        self.horizon = horizon
+        self._future: List[Invocation] = []
+
+    def observe_workload(self, workload: Workload) -> None:
+        """Give the scheduler clairvoyant access to the arrival stream."""
+        self._future = list(workload.invocations)
+
+    def reset(self) -> None:
+        """Clear per-run state."""
+        self._future = []
+
+    # -- decision logic -------------------------------------------------------
+    def decide(self, ctx: SchedulingContext) -> Decision:
+        """Choose a warm container (or cold start) for ``ctx.invocation``."""
+        upcoming = self._upcoming(ctx.invocation)
+        cold_latency = ctx.estimated_latency(None)
+        best: Optional[Decision] = None
+        best_score = 0.0  # score of cold start: zero net saving
+        for container, _level in ctx.reusable_containers():
+            my_latency = ctx.estimated_latency(container)
+            my_saving = cold_latency - my_latency
+            # Taking the container keeps it busy through startup + execution;
+            # future invocations arriving within that window lose it
+            # entirely, later ones only lose the repack delta.
+            busy_until = (
+                ctx.now + my_latency + ctx.invocation.execution_time_s
+            )
+            loss = self._opportunity_loss(container, upcoming, ctx, busy_until)
+            score = my_saving - loss
+            if score > best_score:
+                best_score = score
+                best = Decision.warm(container.container_id)
+        return best or Decision.cold()
+
+    def _upcoming(self, current: Invocation) -> List[Invocation]:
+        """The next ``horizon`` invocations after ``current``."""
+        idx = None
+        for i, inv in enumerate(self._future):
+            if inv.invocation_id == current.invocation_id:
+                idx = i
+                break
+        if idx is None:
+            return []
+        return self._future[idx + 1 : idx + 1 + self.horizon]
+
+    def _opportunity_loss(
+        self,
+        container,
+        upcoming: List[Invocation],
+        ctx: SchedulingContext,
+        busy_until: float,
+    ) -> float:
+        """Worst saving a near-future invocation forfeits if we take it now.
+
+        An invocation arriving while the container is busy loses the entire
+        as-is saving; one arriving after it is free again loses only the
+        difference between reusing the original stack and reusing the
+        repacked (current invocation's) stack.
+        """
+        my_image = ctx.invocation.spec.image
+        worst = 0.0
+        for inv in upcoming:
+            as_is = self._saving(inv, container.image, ctx)
+            if as_is <= 0:
+                continue
+            if inv.arrival_time < busy_until:
+                loss = as_is
+            else:
+                loss = max(0.0, as_is - self._saving(inv, my_image, ctx))
+            worst = max(worst, loss)
+        return worst
+
+    @staticmethod
+    def _saving(
+        inv: Invocation, container_image, ctx: SchedulingContext
+    ) -> float:
+        """Startup saving ``inv`` would get from a container of that image."""
+        from repro.containers.matching import MatchLevel
+
+        match = match_level(inv.spec.image, container_image)
+        if not match.is_reusable:
+            return 0.0
+        cold = ctx.cost_model.latency_s(
+            inv.spec.image, MatchLevel.NO_MATCH, inv.spec.function_init_s
+        )
+        warm = ctx.cost_model.latency_s(
+            inv.spec.image, match, inv.spec.function_init_s
+        )
+        return cold - warm

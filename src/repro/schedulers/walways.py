@@ -1,0 +1,48 @@
+"""W-style always-adopt scheduler (the Fig. 1 "W" reuse mode).
+
+Adopts any same-OS warm container and pulls only missing packages (delta
+costing), always choosing the candidate whose delta cost is lowest.  It is
+the level-free counterpart of Greedy-Match: no Table-I pruning, maximal
+adoption.  Not part of the paper's comparison set (the paper uses "W" only
+in the motivating microbenchmark), provided as an extension baseline.
+
+Note the cluster simulator prices warm reuse by Table-I match level; this
+scheduler therefore *selects* by delta cost but still pays level-based cost
+in the simulator -- its value is in the Fig. 1 analysis and in stress-testing
+the matcher with adversarial adoption behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cluster.eviction import LRUEviction
+from repro.schedulers.base import Decision, Scheduler, SchedulingContext
+
+
+class AlwaysAdoptScheduler(Scheduler):
+    """Adopt the same-OS container with the smallest delta startup cost."""
+
+    name = "W-AlwaysAdopt"
+
+    @staticmethod
+    def make_eviction_policy() -> LRUEviction:
+        return LRUEviction()
+
+    def decide(self, ctx: SchedulingContext) -> Decision:
+        """Choose a warm container (or cold start) for ``ctx.invocation``."""
+        spec = ctx.invocation.spec
+        best_id: Optional[int] = None
+        best_cost = float("inf")
+        for container in ctx.idle_containers:
+            if container.image.os_packages != spec.image.os_packages:
+                continue
+            cost = ctx.cost_model.delta_breakdown(
+                spec.image, container.image, spec.function_init_s
+            ).total_s
+            if cost < best_cost:
+                best_cost = cost
+                best_id = container.container_id
+        if best_id is not None and best_cost < ctx.estimated_latency(None):
+            return Decision.warm(best_id)
+        return Decision.cold()

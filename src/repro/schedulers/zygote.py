@@ -1,0 +1,91 @@
+"""Zygote-container baseline (Li et al., USENIX ATC'22 -- related work).
+
+"Help Rather Than Recycle" proposes *zygote* containers that hold the
+package union of several functions; a function can warm-start on a zygote
+that contains **all** of its packages, and the zygote is preserved (not
+repacked) so it keeps serving the whole family.
+
+This module provides:
+
+* :func:`build_zygote_images` -- derive one zygote image per
+  (OS, language) family from a set of function specs, with the union of
+  that family's runtime packages;
+* :class:`ZygoteScheduler` -- reuse a covering container
+  (``preserve_image=True``), fall back to exact-match reuse, else cold
+  start.
+
+Run it with ``SimulationConfig(delta_pricing=True)`` and a pre-warmed
+zygote pool (``ClusterSimulator.prewarm``); the extension benchmark
+``benchmarks/bench_ext_zygote.py`` does exactly that.
+
+Compared to MLCR (the paper's Section VII discussion): zygotes need every
+package present to help, pay memory for the union permanently, and require
+choosing the families up front, whereas MLCR reuses *partial* matches and
+adapts online.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+from repro.cluster.eviction import LRUEviction
+from repro.containers.image import FunctionImage
+from repro.schedulers.base import Decision, Scheduler, SchedulingContext
+from repro.workloads.functions import FunctionSpec
+
+
+def build_zygote_images(
+    specs: Iterable[FunctionSpec], memory_overhead_mb: float = 48.0
+) -> List[FunctionImage]:
+    """One zygote per (OS-level, language-level) family: runtime union."""
+    families: Dict[Tuple, List[FunctionSpec]] = {}
+    for spec in specs:
+        key = (spec.image.os_packages, spec.image.language_packages)
+        families.setdefault(key, []).append(spec)
+    zygotes: List[FunctionImage] = []
+    for i, ((os_pkgs, lang_pkgs), members) in enumerate(
+        sorted(families.items(), key=lambda kv: kv[1][0].name)
+    ):
+        runtime_union = frozenset().union(
+            *(m.image.runtime_packages for m in members)
+        )
+        packages = list(os_pkgs | lang_pkgs | runtime_union)
+        zygotes.append(
+            FunctionImage.from_packages(
+                f"zygote/family-{i:02d}", packages,
+                memory_overhead_mb=memory_overhead_mb,
+            )
+        )
+    return zygotes
+
+
+class ZygoteScheduler(Scheduler):
+    """Warm-start on covering (superset) containers, preserved in place."""
+
+    name = "Zygote"
+
+    @staticmethod
+    def make_eviction_policy() -> LRUEviction:
+        return LRUEviction()
+
+    def decide(self, ctx: SchedulingContext) -> Decision:
+        """Choose a warm container (or cold start) for ``ctx.invocation``."""
+        needed = frozenset(ctx.invocation.spec.image.packages)
+        os_level = ctx.invocation.spec.image.os_packages
+        covering: List[Tuple[float, int]] = []
+        exact: List[int] = []
+        for container in ctx.idle_containers:
+            if container.image.os_packages != os_level:
+                continue
+            have = frozenset(container.image.packages)
+            if container.image.same_configuration(ctx.invocation.spec.image):
+                exact.append(container.container_id)
+            elif needed <= have:
+                # Prefer the smallest covering zygote (least memory pinned).
+                covering.append((container.memory_mb, container.container_id))
+        if covering:
+            covering.sort()
+            return Decision.warm(covering[0][1], preserve_image=True)
+        if exact:
+            return Decision.warm(exact[-1])  # most recently used
+        return Decision.cold()

@@ -1,0 +1,139 @@
+"""Workload (trace) serialization.
+
+FStartBench ships as *traces*: reproducible files a third party can replay
+without our generators.  A trace bundles the function definitions (including
+their three-level package stacks, resolved against the default catalog on
+load) and the timed invocation stream, as a single JSON document.
+
+JSON keeps traces diffable and toolable; numpy arrays are expanded to plain
+lists (traces are small -- hundreds of invocations).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Union
+
+from repro.containers.image import FunctionImage
+from repro.packages.catalog import PackageCatalog, default_catalog
+from repro.packages.package import Package, PackageSet
+from repro.workloads.functions import FunctionSpec
+from repro.workloads.workload import Invocation, Workload
+
+FORMAT_VERSION = 1
+
+
+# ---------------------------------------------------------------------------
+# Encoding
+# ---------------------------------------------------------------------------
+
+def _encode_spec(spec: FunctionSpec) -> Dict:
+    return {
+        "func_id": spec.func_id,
+        "name": spec.name,
+        "image_name": spec.image.name,
+        "memory_mb": spec.image.memory_mb,
+        "packages": sorted(p.key for p in spec.image.packages),
+        "function_init_s": spec.function_init_s,
+        "exec_time_mean_s": spec.exec_time_mean_s,
+        "exec_time_cv": spec.exec_time_cv,
+        "description": spec.description,
+    }
+
+
+def workload_to_dict(workload: Workload) -> Dict:
+    """Encode a workload as a JSON-compatible dictionary."""
+    specs = workload.function_specs()
+    return {
+        "format_version": FORMAT_VERSION,
+        "name": workload.name,
+        "metadata": dict(workload.metadata),
+        "functions": [_encode_spec(s) for s in specs],
+        "invocations": [
+            {
+                "id": inv.invocation_id,
+                "function": inv.spec.name,
+                "arrival": inv.arrival_time,
+                "exec": inv.execution_time_s,
+            }
+            for inv in workload
+        ],
+    }
+
+
+def save_workload(workload: Workload, path: Union[str, Path]) -> Path:
+    """Write a workload trace to ``path`` as JSON."""
+    path = Path(path)
+    path.write_text(json.dumps(workload_to_dict(workload), indent=1))
+    return path
+
+
+# ---------------------------------------------------------------------------
+# Decoding
+# ---------------------------------------------------------------------------
+
+class TraceFormatError(ValueError):
+    """The trace file is malformed or from an unsupported version."""
+
+
+def _decode_spec(data: Dict, catalog: PackageCatalog) -> FunctionSpec:
+    packages: List[Package] = []
+    for key in data["packages"]:
+        if key not in catalog:
+            raise TraceFormatError(f"unknown package {key!r} in trace")
+        packages.append(catalog.by_key(key))
+    image = FunctionImage(
+        name=data["image_name"],
+        packages=PackageSet(packages),
+        memory_mb=data["memory_mb"],
+    )
+    return FunctionSpec(
+        func_id=data["func_id"],
+        name=data["name"],
+        image=image,
+        function_init_s=data["function_init_s"],
+        exec_time_mean_s=data["exec_time_mean_s"],
+        exec_time_cv=data["exec_time_cv"],
+        description=data.get("description", ""),
+    )
+
+
+def workload_from_dict(
+    data: Dict, catalog: PackageCatalog | None = None
+) -> Workload:
+    """Decode a workload from :func:`workload_to_dict` output."""
+    if data.get("format_version") != FORMAT_VERSION:
+        raise TraceFormatError(
+            f"unsupported trace version {data.get('format_version')!r}"
+        )
+    catalog = catalog or default_catalog()
+    try:
+        specs = {s["name"]: _decode_spec(s, catalog)
+                 for s in data["functions"]}
+        invocations = [
+            Invocation(
+                invocation_id=item["id"],
+                spec=specs[item["function"]],
+                arrival_time=item["arrival"],
+                execution_time_s=item["exec"],
+            )
+            for item in data["invocations"]
+        ]
+    except KeyError as exc:
+        raise TraceFormatError(f"missing trace field: {exc}") from exc
+    return Workload.from_invocations(
+        data["name"], invocations, data.get("metadata", {})
+    )
+
+
+def load_workload(
+    path: Union[str, Path], catalog: PackageCatalog | None = None
+) -> Workload:
+    """Read a workload trace written by :func:`save_workload`."""
+    path = Path(path)
+    try:
+        data = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise TraceFormatError(f"not a JSON trace: {exc}") from exc
+    return workload_from_dict(data, catalog)

@@ -1,0 +1,129 @@
+"""Workloads: timed streams of function invocations."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Sequence
+
+import numpy as np
+
+from repro.workloads.functions import FunctionSpec
+
+
+@dataclass(frozen=True)
+class Invocation:
+    """One function invocation in a workload trace."""
+
+    invocation_id: int
+    spec: FunctionSpec
+    arrival_time: float
+    execution_time_s: float
+
+    def __post_init__(self) -> None:
+        if self.arrival_time < 0:
+            raise ValueError("arrival_time must be >= 0")
+        if self.execution_time_s <= 0:
+            raise ValueError("execution_time_s must be positive")
+
+
+@dataclass(frozen=True)
+class Workload:
+    """An immutable, arrival-ordered stream of invocations."""
+
+    name: str
+    invocations: tuple
+    metadata: Dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        times = [inv.arrival_time for inv in self.invocations]
+        if any(b < a for a, b in zip(times, times[1:])):
+            raise ValueError("invocations must be sorted by arrival time")
+
+    @classmethod
+    def from_invocations(
+        cls,
+        name: str,
+        invocations: Sequence[Invocation],
+        metadata: Dict[str, float] | None = None,
+    ) -> "Workload":
+        ordered = tuple(sorted(invocations, key=lambda inv: (inv.arrival_time, inv.invocation_id)))
+        return cls(name=name, invocations=ordered, metadata=dict(metadata or {}))
+
+    # -- views -----------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.invocations)
+
+    def __iter__(self) -> Iterator[Invocation]:
+        return iter(self.invocations)
+
+    def function_specs(self) -> List[FunctionSpec]:
+        """Distinct function specs, in first-appearance order."""
+        seen: Dict[str, FunctionSpec] = {}
+        for inv in self.invocations:
+            seen.setdefault(inv.spec.name, inv.spec)
+        return list(seen.values())
+
+    @property
+    def duration_s(self) -> float:
+        if not self.invocations:
+            return 0.0
+        return self.invocations[-1].arrival_time
+
+    def arrival_times(self) -> np.ndarray:
+        """Arrival times in arrival order, as an array."""
+        return np.array([inv.arrival_time for inv in self.invocations])
+
+    def interarrival_times(self) -> np.ndarray:
+        """Gaps between consecutive arrivals (empty for < 2 invocations)."""
+        times = self.arrival_times()
+        if times.size < 2:
+            return np.array([])
+        return np.diff(times)
+
+    def invocation_counts(self) -> Dict[str, int]:
+        """Invocations per function name."""
+        counts: Dict[str, int] = {}
+        for inv in self.invocations:
+            counts[inv.spec.name] = counts.get(inv.spec.name, 0) + 1
+        return counts
+
+
+def assemble(
+    name: str,
+    specs: Sequence[FunctionSpec],
+    arrival_times: Sequence[np.ndarray],
+    rng: np.random.Generator,
+    metadata: Dict[str, float] | None = None,
+) -> Workload:
+    """Merge per-spec arrival-time arrays into one workload.
+
+    ``arrival_times[i]`` holds the arrival times of ``specs[i]``.  Execution
+    times are sampled per invocation from the spec's distribution.
+    """
+    if len(specs) != len(arrival_times):
+        raise ValueError("specs and arrival_times must align")
+    invocations: List[Invocation] = []
+    next_id = 0
+    for spec, times in zip(specs, arrival_times):
+        for t in np.sort(np.asarray(times, dtype=np.float64)):
+            invocations.append(
+                Invocation(
+                    invocation_id=next_id,
+                    spec=spec,
+                    arrival_time=float(t),
+                    execution_time_s=spec.sample_exec_time(rng),
+                )
+            )
+            next_id += 1
+    # Re-number in arrival order so invocation_id matches the arrival index.
+    ordered = sorted(invocations, key=lambda inv: (inv.arrival_time, inv.invocation_id))
+    renumbered = [
+        Invocation(
+            invocation_id=i,
+            spec=inv.spec,
+            arrival_time=inv.arrival_time,
+            execution_time_s=inv.execution_time_s,
+        )
+        for i, inv in enumerate(ordered)
+    ]
+    return Workload.from_invocations(name, renumbered, metadata)

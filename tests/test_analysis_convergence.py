@@ -1,0 +1,78 @@
+"""Tests for training-curve analysis."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.convergence import (
+    compare_curves,
+    moving_average,
+    summarize_curve,
+)
+
+
+class TestMovingAverage:
+    def test_window_one_is_identity(self):
+        values = [3.0, 1.0, 4.0]
+        np.testing.assert_allclose(moving_average(values, 1), values)
+
+    def test_partial_windows_at_start(self):
+        out = moving_average([2.0, 4.0, 6.0], window=2)
+        np.testing.assert_allclose(out, [2.0, 3.0, 5.0])
+
+    def test_empty(self):
+        assert moving_average([], 3).size == 0
+
+    def test_bad_window(self):
+        with pytest.raises(ValueError):
+            moving_average([1.0], 0)
+
+    @given(st.lists(st.floats(min_value=-100, max_value=100,
+                              allow_nan=False), min_size=1, max_size=30),
+           st.integers(min_value=1, max_value=10))
+    def test_smoothed_stays_in_range(self, values, window):
+        out = moving_average(values, window)
+        assert out.min() >= min(values) - 1e-9
+        assert out.max() <= max(values) + 1e-9
+
+
+class TestSummarizeCurve:
+    def test_improving_curve(self):
+        s = summarize_curve([100.0, 80.0, 60.0, 50.0, 50.0])
+        assert s.improvement_pct == pytest.approx(50.0)
+        assert s.best == 50.0
+        assert s.converged
+
+    def test_flat_curve_converges_immediately(self):
+        s = summarize_curve([10.0] * 6)
+        assert s.convergence_episode == 0
+        assert s.stability == 0.0
+
+    def test_degrading_curve_negative_improvement(self):
+        s = summarize_curve([50.0, 60.0, 70.0])
+        assert s.improvement_pct < 0
+
+    def test_noisy_tail_less_stable(self):
+        steady = summarize_curve([10, 10, 10, 10, 10, 10.0])
+        noisy = summarize_curve([10, 10, 10, 5, 15, 10.0])
+        assert noisy.stability > steady.stability
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize_curve([])
+
+    def test_convergence_episode_is_first_within_tolerance(self):
+        s = summarize_curve([100.0, 100.0, 100.0, 10.0, 10.0, 10.0],
+                            window=1, tolerance=0.05)
+        assert s.convergence_episode == 3
+
+
+class TestCompareCurves:
+    def test_renders_all_labels(self):
+        out = compare_curves({
+            "full": [10.0, 8.0, 6.0],
+            "ablated": [10.0, 9.5, 9.0],
+        })
+        assert "full" in out and "ablated" in out
+        assert "improvement" in out

@@ -1,0 +1,117 @@
+"""Tests for the SVG chart renderer."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.analysis.stats import box_stats
+from repro.analysis.svgplot import (
+    SvgCanvas,
+    _Frame,
+    _nice_ticks,
+    box_chart,
+    grouped_bar_chart,
+    line_chart,
+)
+
+SVG_NS = "{http://www.w3.org/2000/svg}"
+
+
+def parse(canvas) -> ET.Element:
+    return ET.fromstring(canvas.to_svg())
+
+
+def count(root, tag: str) -> int:
+    return len(root.findall(f".//{SVG_NS}{tag}"))
+
+
+class TestCanvas:
+    def test_valid_xml(self):
+        canvas = SvgCanvas(_Frame(), title="hello & <world>")
+        canvas.rect(1, 2, 3, 4, fill="#f00")
+        canvas.line(0, 0, 10, 10)
+        canvas.text(5, 5, "a <b> & c")
+        root = parse(canvas)
+        assert root.tag == f"{SVG_NS}svg"
+
+    def test_save(self, tmp_path):
+        path = SvgCanvas(_Frame()).save(tmp_path / "x.svg")
+        assert path.exists()
+        ET.parse(path)
+
+    def test_frame_coordinates(self):
+        frame = _Frame(width=200, height=100, margin_left=20,
+                       margin_right=10, margin_top=5, margin_bottom=15)
+        assert frame.x(0.0) == 20
+        assert frame.x(1.0) == 190
+        assert frame.y(0.0) == 85   # bottom of data region
+        assert frame.y(1.0) == 5
+
+
+class TestNiceTicks:
+    def test_covers_peak(self):
+        ticks = _nice_ticks(87.0)
+        assert ticks[0] == 0.0
+        assert ticks[-1] >= 87.0
+
+    def test_zero_peak(self):
+        assert _nice_ticks(0.0) == [0.0, 1.0]
+
+    @pytest.mark.parametrize("peak", [0.003, 1.0, 42.0, 1234.5, 9e6])
+    def test_monotone(self, peak):
+        ticks = _nice_ticks(peak)
+        assert ticks == sorted(ticks)
+
+
+class TestGroupedBarChart:
+    def test_bar_count(self):
+        canvas = grouped_bar_chart(
+            ["Tight", "Loose"],
+            {"LRU": [10.0, 5.0], "MLCR": [8.0, 4.0]},
+        )
+        root = parse(canvas)
+        # 4 data bars + background + 2 legend swatches.
+        assert count(root, "rect") == 4 + 1 + 2
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            grouped_bar_chart(["a"], {"s": [1.0, 2.0]})
+
+    def test_labels_rendered(self):
+        canvas = grouped_bar_chart(["Tight"], {"LRU": [1.0]},
+                                   title="T", y_label="s")
+        text = canvas.to_svg()
+        assert "Tight" in text and "LRU" in text and "T" in text
+
+
+class TestLineChart:
+    def test_polyline_per_series(self):
+        canvas = line_chart(
+            [0, 1, 2],
+            {"greedy": [0.0, 1.0, 3.0], "mlcr": [0.0, 0.5, 2.0]},
+        )
+        assert count(parse(canvas), "polyline") == 2
+
+    def test_empty_x_rejected(self):
+        with pytest.raises(ValueError):
+            line_chart([], {"s": []})
+
+    def test_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            line_chart([0, 1], {"s": [1.0]})
+
+
+class TestBoxChart:
+    def test_structure(self):
+        stats = box_stats([1, 2, 3, 4, 5.0])
+        canvas = box_chart({
+            "HI-Sim": {"LRU": stats, "MLCR": stats},
+            "LO-Sim": {"LRU": stats, "MLCR": stats},
+        })
+        root = parse(canvas)
+        # 4 boxes + background + 2 legend swatches.
+        assert count(root, "rect") == 4 + 1 + 2
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            box_chart({})

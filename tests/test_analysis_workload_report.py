@@ -1,0 +1,82 @@
+"""Tests for workload characterization reports."""
+
+import pytest
+
+from repro.analysis.workload_report import (
+    arrival_histogram,
+    composition_table,
+    full_report,
+    interarrival_summary,
+    similarity_matrix,
+)
+from repro.workloads.fstartbench import (
+    hi_sim_workload,
+    peak_workload,
+    uniform_workload,
+)
+from repro.workloads.workload import Workload
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return hi_sim_workload(seed=0, n=60)
+
+
+class TestCompositionTable:
+    def test_lists_all_functions(self, workload):
+        out = composition_table(workload)
+        for spec in workload.function_specs():
+            assert spec.name in out
+
+    def test_counts_sum(self, workload):
+        out = composition_table(workload)
+        counts = [int(line.split("|")[1]) for line in out.splitlines()[3:]]
+        assert sum(counts) == len(workload)
+
+
+class TestSimilarityMatrix:
+    def test_square_with_unit_diagonal(self, workload):
+        out = similarity_matrix(workload)
+        lines = out.splitlines()[3:]
+        n = len(workload.function_specs())
+        assert len(lines) == n
+        for i, line in enumerate(lines):
+            cells = [c.strip() for c in line.split("|")[1:]]
+            assert cells[i] == "1.00"
+
+
+class TestArrivalHistogram:
+    def test_empty(self):
+        assert "no invocations" in arrival_histogram(
+            Workload.from_invocations("e", [])
+        )
+
+    def test_buckets_cover_all(self, workload):
+        out = arrival_histogram(workload, bins=6)
+        totals = [float(line.rsplit(" ", 1)[-1]) for line in
+                  out.splitlines()[1:]]
+        assert sum(totals) == len(workload)
+
+
+class TestInterarrival:
+    def test_uniform_has_low_burstiness(self):
+        stats = interarrival_summary(uniform_workload(seed=0))
+        assert stats["burstiness_index"] < -0.4  # near-deterministic gaps
+
+    def test_peak_burstier_than_uniform(self):
+        peak = interarrival_summary(peak_workload(seed=0))
+        uniform = interarrival_summary(uniform_workload(seed=0))
+        assert peak["burstiness_index"] > uniform["burstiness_index"]
+
+    def test_empty_workload(self):
+        stats = interarrival_summary(Workload.from_invocations("e", []))
+        assert stats["mean_gap_s"] == 0.0
+
+
+class TestFullReport:
+    def test_contains_all_sections(self, workload):
+        out = full_report(workload)
+        assert "composition" in out
+        assert "Jaccard" in out
+        assert "arrival histogram" in out
+        assert "Metric 1" in out and "Metric 3" in out

@@ -1,0 +1,70 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_simulate_defaults(self):
+        args = build_parser().parse_args(["simulate"])
+        assert args.workload == "Overall"
+        assert args.scheduler == "all"
+        assert args.pool == "tight"
+
+    def test_experiment_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "fig99"])
+
+
+class TestCommands:
+    def test_workloads_lists_all(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        for name in ("LO-Sim", "HI-Sim", "Peak", "Overall"):
+            assert name in out
+
+    def test_simulate_single_scheduler(self, capsys):
+        assert main([
+            "simulate", "--workload", "HI-Sim", "--scheduler", "greedy",
+            "--pool", "tight",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Greedy-Match" in out
+        assert "cold" in out
+
+    def test_simulate_all(self, capsys):
+        assert main(["simulate", "--workload", "HI-Sim"]) == 0
+        out = capsys.readouterr().out
+        for name in ("LRU", "FaasCache", "KeepAlive", "Greedy-Match"):
+            assert name in out
+
+    def test_experiment_fig2(self, capsys):
+        assert main(["experiment", "fig2"]) == 0
+        out = capsys.readouterr().out
+        assert "Policy 1" in out
+
+    def test_experiment_fig3(self, capsys):
+        assert main(["experiment", "fig3"]) == 0
+        assert "ubuntu" in capsys.readouterr().out
+
+    def test_train_writes_policy(self, tmp_path, capsys, monkeypatch):
+        # Keep it minimal: 1-episode training on the smallest workload.
+        out_file = tmp_path / "p.npz"
+        assert main([
+            "train", "--workload", "HI-Sim", "--episodes", "1",
+            "--output", str(out_file),
+        ]) == 0
+        assert out_file.exists()
+        from repro.core.persistence import load_scheduler
+
+        scheduler = load_scheduler(out_file)
+        assert scheduler.name == "MLCR"

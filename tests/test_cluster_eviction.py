@@ -1,0 +1,122 @@
+"""Tests for eviction (keep-alive) policies."""
+
+import pytest
+
+from repro.cluster.eviction import (
+    FaasCacheEviction,
+    LRUEviction,
+    RejectNewcomerEviction,
+)
+from repro.cluster.pool import WarmPool
+
+from test_cluster_pool import small_container
+
+
+def filled_pool(capacity=500.0, sizes=(100.0, 100.0, 100.0)):
+    pool = WarmPool(capacity)
+    for i, mem in enumerate(sizes):
+        pool.add(small_container(i, mem=mem))
+    return pool
+
+
+class TestLRUEviction:
+    def test_no_eviction_when_fits(self):
+        policy = LRUEviction()
+        pool = filled_pool()
+        assert policy.select_victims(pool, small_container(9), 0.0) == []
+
+    def test_evicts_lru_first(self):
+        policy = LRUEviction()
+        pool = filled_pool(capacity=300.0)  # full with 3x100
+        victims = policy.select_victims(pool, small_container(9), 0.0)
+        assert [v.container_id for v in victims] == [0]
+
+    def test_evicts_enough_for_large_newcomer(self):
+        policy = LRUEviction()
+        pool = filled_pool(capacity=300.0)
+        victims = policy.select_victims(
+            pool, small_container(9, mem=250.0), 0.0
+        )
+        assert [v.container_id for v in victims] == [0, 1, 2]
+
+    def test_oversized_newcomer_rejected(self):
+        policy = LRUEviction()
+        pool = filled_pool(capacity=300.0)
+        assert policy.select_victims(
+            pool, small_container(9, mem=400.0), 0.0
+        ) is None
+
+    def test_no_ttl(self):
+        assert LRUEviction().ttl_s is None
+
+
+class TestRejectNewcomer:
+    def test_accepts_when_space(self):
+        policy = RejectNewcomerEviction()
+        pool = filled_pool(capacity=500.0)
+        assert policy.select_victims(pool, small_container(9), 0.0) == []
+
+    def test_rejects_when_full(self):
+        policy = RejectNewcomerEviction()
+        pool = filled_pool(capacity=300.0)
+        assert policy.select_victims(pool, small_container(9), 0.0) is None
+
+    def test_default_ttl_10_minutes(self):
+        assert RejectNewcomerEviction().ttl_s == 600.0
+
+    def test_bad_ttl_rejected(self):
+        with pytest.raises(ValueError):
+            RejectNewcomerEviction(ttl_s=0.0)
+
+
+class TestFaasCache:
+    def test_no_eviction_when_fits(self):
+        policy = FaasCacheEviction()
+        pool = filled_pool()
+        assert policy.select_victims(pool, small_container(9), 0.0) == []
+
+    def test_evicts_lowest_priority(self):
+        policy = FaasCacheEviction()
+        pool = WarmPool(300.0)
+        cheap = small_container(1)
+        cheap.current_function = "cheap"
+        precious = small_container(2)
+        precious.current_function = "precious"
+        filler = small_container(3)
+        filler.current_function = "filler"
+        for c in (cheap, precious, filler):
+            pool.add(c)
+        # precious: frequent and expensive to restart; cheap: rarely used.
+        for _ in range(10):
+            policy.on_function_start("precious", 5.0, 100.0, 0.0)
+        policy.on_function_start("cheap", 0.2, 100.0, 0.0)
+        policy.on_function_start("filler", 0.5, 100.0, 0.0)
+        victims = policy.select_victims(pool, small_container(9), 0.0)
+        assert victims and victims[0].container_id == 1  # cheap goes first
+
+    def test_clock_advances_on_eviction(self):
+        policy = FaasCacheEviction()
+        pool = filled_pool(capacity=300.0)
+        policy.on_function_start("img0", 1.0, 100.0, 0.0)
+        before = policy._clock
+        policy.select_victims(pool, small_container(9), 0.0)
+        assert policy._clock >= before
+
+    def test_cost_keeps_maximum(self):
+        policy = FaasCacheEviction()
+        policy.on_function_start("f", 5.0, 10.0, 0.0)
+        policy.on_function_start("f", 0.1, 10.0, 0.0)  # lucky warm start
+        assert policy._cost["f"] == 5.0
+
+    def test_reset_clears_state(self):
+        policy = FaasCacheEviction()
+        policy.on_function_start("f", 5.0, 10.0, 0.0)
+        policy.reset()
+        assert not policy._freq and not policy._cost and policy._clock == 0.0
+
+    def test_oversized_rejected(self):
+        policy = FaasCacheEviction()
+        pool = filled_pool(capacity=300.0)
+        assert policy.select_victims(
+            pool, small_container(9, mem=301.0), 0.0
+        ) is None

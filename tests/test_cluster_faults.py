@@ -1,0 +1,107 @@
+"""Tests for fault injection (crashes, pull stragglers)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.faults import FaultConfig, FaultModel
+from repro.cluster.simulator import ClusterSimulator, SimulationConfig
+from repro.containers.costmodel import StartupBreakdown
+from repro.schedulers.greedy import GreedyMatchScheduler
+from repro.schedulers.lru import LRUScheduler
+from repro.workloads.fstartbench import overall_workload
+
+
+class TestFaultConfig:
+    def test_defaults_disabled(self):
+        assert not FaultConfig().enabled
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FaultConfig(crash_prob=1.5)
+        with pytest.raises(ValueError):
+            FaultConfig(straggler_prob=-0.1)
+        with pytest.raises(ValueError):
+            FaultConfig(straggler_factor=0.5)
+
+    def test_enabled_flag(self):
+        assert FaultConfig(crash_prob=0.1).enabled
+        assert FaultConfig(straggler_prob=0.1).enabled
+
+
+class TestFaultModel:
+    def test_never_crashes_when_disabled(self):
+        model = FaultModel(FaultConfig())
+        assert not any(model.should_crash() for _ in range(100))
+
+    def test_always_crashes_at_prob_one(self):
+        model = FaultModel(FaultConfig(crash_prob=1.0))
+        assert all(model.should_crash() for _ in range(20))
+
+    def test_straggler_multiplies_pull_only(self):
+        model = FaultModel(FaultConfig(straggler_prob=1.0,
+                                       straggler_factor=3.0))
+        bd = StartupBreakdown(create_s=0.5, pull_s=2.0, install_s=0.3)
+        out, straggled = model.perturb_breakdown(bd)
+        assert straggled
+        assert out.pull_s == pytest.approx(6.0)
+        assert out.create_s == bd.create_s
+        assert out.install_s == bd.install_s
+
+    def test_no_straggle_without_pull(self):
+        model = FaultModel(FaultConfig(straggler_prob=1.0))
+        bd = StartupBreakdown(clean_s=0.05, function_init_s=0.1)
+        out, straggled = model.perturb_breakdown(bd)
+        assert not straggled
+        assert out == bd
+
+    def test_deterministic_per_seed(self):
+        a = FaultModel(FaultConfig(crash_prob=0.5, seed=7))
+        b = FaultModel(FaultConfig(crash_prob=0.5, seed=7))
+        assert [a.should_crash() for _ in range(30)] == [
+            b.should_crash() for _ in range(30)
+        ]
+
+
+class TestFaultySimulation:
+    def _run(self, faults: FaultConfig, scheduler_cls=GreedyMatchScheduler):
+        workload = overall_workload(seed=0, n=120)
+        scheduler = scheduler_cls()
+        sim = ClusterSimulator(
+            SimulationConfig(pool_capacity_mb=2000.0, faults=faults),
+            scheduler.make_eviction_policy(),
+        )
+        return sim.run(workload, scheduler).telemetry
+
+    def test_crashes_counted_and_conservation_holds(self):
+        t = self._run(FaultConfig(crash_prob=0.3, seed=1))
+        assert t.container_crashes > 0
+        assert t.n_invocations == 120  # every arrival still served
+
+    def test_crashes_increase_cold_starts(self):
+        clean = self._run(FaultConfig())
+        faulty = self._run(FaultConfig(crash_prob=0.5, seed=1))
+        assert faulty.cold_starts > clean.cold_starts
+
+    def test_stragglers_increase_latency(self):
+        clean = self._run(FaultConfig())
+        slow = self._run(FaultConfig(straggler_prob=0.5,
+                                     straggler_factor=5.0, seed=2))
+        assert slow.stragglers > 0
+        assert slow.total_startup_latency_s > clean.total_startup_latency_s
+
+    def test_summary_includes_fault_counters(self):
+        t = self._run(FaultConfig(crash_prob=0.2, seed=3))
+        summary = t.summary()
+        assert "container_crashes" in summary
+        assert "stragglers" in summary
+
+    @settings(max_examples=10, deadline=None)
+    @given(crash=st.floats(min_value=0.0, max_value=0.9),
+           straggle=st.floats(min_value=0.0, max_value=0.9))
+    def test_invariants_hold_under_any_fault_rates(self, crash, straggle):
+        t = self._run(FaultConfig(crash_prob=crash, straggler_prob=straggle,
+                                  seed=4), scheduler_cls=LRUScheduler)
+        assert t.n_invocations == 120
+        assert t.cold_starts + t.warm_starts == 120
+        assert t.peak_warm_memory_mb <= 2000.0 + 1e-6

@@ -1,0 +1,115 @@
+"""Tests for per-worker pool sharding (PoolSet)."""
+
+import pytest
+
+from repro.cluster.pool import PoolFullError, PoolSet
+from repro.cluster.simulator import ClusterSimulator, SimulationConfig
+from repro.schedulers.greedy import GreedyMatchScheduler
+from repro.schedulers.lru import LRUScheduler
+from repro.workloads.fstartbench import overall_workload
+
+from test_cluster_pool import small_container
+
+
+class TestPoolSet:
+    def test_single_shard_degenerates_to_global(self):
+        ps = PoolSet(300.0, n_shards=1)
+        ps.add(small_container(1), 0)
+        ps.add(small_container(2), 3)  # index wraps to shard 0
+        assert len(ps) == 2
+        assert ps.used_mb == pytest.approx(200.0)
+
+    def test_per_shard_capacity(self):
+        ps = PoolSet(200.0, n_shards=2)  # 100 MB per shard
+        ps.add(small_container(1), 0)
+        with pytest.raises(PoolFullError):
+            ps.add(small_container(2), 0)  # shard 0 full
+        ps.add(small_container(3), 1)      # shard 1 has room
+        assert len(ps) == 2
+
+    def test_aggregate_capacity(self):
+        ps = PoolSet(400.0, n_shards=4)
+        assert ps.capacity_mb == pytest.approx(400.0)
+        assert ps.shard(0).capacity_mb == pytest.approx(100.0)
+
+    def test_remove_routes_to_owning_shard(self):
+        ps = PoolSet(400.0, n_shards=2)
+        c = small_container(1)
+        ps.add(c, 1)
+        assert ps.remove(1) is c
+        assert 1 not in ps
+
+    def test_remove_unknown_raises(self):
+        with pytest.raises(KeyError):
+            PoolSet(100.0).remove(7)
+
+    def test_get_and_contains(self):
+        ps = PoolSet(400.0, n_shards=2)
+        c = small_container(1)
+        ps.add(c, 0)
+        assert ps.get(1) is c
+        assert ps.get(2) is None
+        assert 1 in ps and 2 not in ps
+
+    def test_merged_lru_order(self):
+        ps = PoolSet(1000.0, n_shards=2)
+        old = small_container(1, last_used=1.0)
+        newer = small_container(2, last_used=5.0)
+        middle = small_container(3, last_used=3.0)
+        ps.add(newer, 0)
+        ps.add(old, 1)
+        ps.add(middle, 0)
+        assert [c.container_id for c in ps.lru_order()] == [1, 3, 2]
+
+    def test_shard_of(self):
+        ps = PoolSet(400.0, n_shards=2)
+        ps.add(small_container(1), 1)
+        assert ps.shard_of(1) is ps.shard(1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PoolSet(100.0, n_shards=0)
+        with pytest.raises(ValueError):
+            PoolSet(-1.0)
+
+
+class TestShardedSimulation:
+    def _run(self, per_worker: bool, scheduler_cls=GreedyMatchScheduler):
+        workload = overall_workload(seed=0, n=120)
+        scheduler = scheduler_cls()
+        sim = ClusterSimulator(
+            SimulationConfig(pool_capacity_mb=1200.0, n_workers=4,
+                             per_worker_pools=per_worker),
+            scheduler.make_eviction_policy(),
+        )
+        return sim.run(workload, scheduler).telemetry
+
+    def test_sharded_run_completes(self):
+        t = self._run(per_worker=True)
+        assert t.n_invocations == 120
+
+    def test_sharding_respects_per_worker_capacity(self):
+        workload = overall_workload(seed=0, n=120)
+        scheduler = GreedyMatchScheduler()
+        sim = ClusterSimulator(
+            SimulationConfig(pool_capacity_mb=1200.0, n_workers=4,
+                             per_worker_pools=True),
+            scheduler.make_eviction_policy(),
+        )
+        sim.run(workload, scheduler)
+        for i in range(4):
+            shard = sim.pool.shard(i)
+            assert shard.peak_used_mb <= shard.capacity_mb + 1e-6
+
+    def test_sharding_is_no_better_than_global(self):
+        """Fragmented capacity cannot beat the pooled global capacity
+        (it can strand space on the wrong worker)."""
+        global_t = self._run(per_worker=False)
+        sharded_t = self._run(per_worker=True)
+        assert (sharded_t.total_startup_latency_s
+                >= 0.95 * global_t.total_startup_latency_s)
+
+    def test_lru_under_sharding(self):
+        t = self._run(per_worker=True, scheduler_cls=LRUScheduler)
+        assert t.cold_starts >= 1
+        assert t.peak_warm_memory_mb <= 1200.0 + 1e-6

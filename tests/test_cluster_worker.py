@@ -1,0 +1,50 @@
+"""Tests for worker placement accounting."""
+
+import pytest
+
+from repro.cluster.worker import WorkerSet
+
+
+class TestWorkerSet:
+    def test_least_loaded_placement(self):
+        ws = WorkerSet(n_workers=2)
+        ws.place(1, 100.0)
+        ws.place(2, 50.0)   # goes to the other worker
+        ws.place(3, 10.0)   # goes to the lighter worker (worker of #2)
+        assert ws.worker_of(1) != ws.worker_of(2)
+        assert ws.worker_of(3) == ws.worker_of(2)
+
+    def test_release_rebalances(self):
+        ws = WorkerSet(n_workers=2)
+        ws.place(1, 100.0)
+        ws.place(2, 50.0)
+        ws.release(1, 100.0)
+        ws.place(3, 10.0)
+        assert ws.worker_of(3) == 0  # worker 0 is now empty
+
+    def test_duplicate_placement_rejected(self):
+        ws = WorkerSet()
+        ws.place(1, 10.0)
+        with pytest.raises(ValueError):
+            ws.place(1, 10.0)
+
+    def test_release_unknown_rejected(self):
+        with pytest.raises(KeyError):
+            WorkerSet().release(42, 1.0)
+
+    def test_load_snapshot(self):
+        ws = WorkerSet(n_workers=3)
+        ws.place(1, 64.0)
+        snap = ws.load_snapshot()
+        assert len(snap) == 3
+        assert sum(s["memory_mb"] for s in snap) == pytest.approx(64.0)
+
+    def test_at_least_one_worker(self):
+        with pytest.raises(ValueError):
+            WorkerSet(n_workers=0)
+
+    def test_memory_never_negative(self):
+        ws = WorkerSet(n_workers=1)
+        ws.place(1, 10.0)
+        ws.release(1, 999.0)  # over-release clamps to zero
+        assert ws.load_snapshot()[0]["memory_mb"] == 0.0

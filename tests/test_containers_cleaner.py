@@ -1,0 +1,110 @@
+"""Tests for the container cleaner (secure repacking)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.containers.cleaner import ContainerCleaner, SecurityViolation
+from repro.containers.matching import MatchLevel
+from repro.containers.volumes import VolumeKind, VolumeStore
+
+from conftest import make_container, make_image
+
+
+@pytest.fixture
+def cleaner():
+    return ContainerCleaner(VolumeStore())
+
+
+class TestInitialMount:
+    def test_mounts_all_volume_groups(self, cleaner):
+        c = make_container(1)
+        vols = cleaner.initial_mount(c, "f")
+        assert c.mounted_volumes == vols
+        assert {v.kind for v in vols} == {
+            VolumeKind.LANGUAGE, VolumeKind.RUNTIME, VolumeKind.USER_DATA
+        }
+
+    def test_mount_counted(self, cleaner):
+        cleaner.initial_mount(make_container(1), "f")
+        assert cleaner.store.mount_count == 3
+
+
+class TestRepack:
+    def test_repack_same_stack_swaps_only_user_data(self, cleaner):
+        c = make_container(1)
+        cleaner.initial_mount(c, "f1")
+        result = cleaner.repack(c, make_image("same"), "f2")
+        assert result.match is MatchLevel.L3
+        # Language and runtime volumes are identical content -> kept.
+        assert [v.kind for v in result.unmounted] == [VolumeKind.USER_DATA]
+        assert [v.kind for v in result.mounted] == [VolumeKind.USER_DATA]
+
+    def test_repack_updates_image(self, cleaner):
+        c = make_container(1)
+        cleaner.initial_mount(c, "f1")
+        new_image = make_image("new", runtime_names=("numpy",))
+        cleaner.repack(c, new_image, "f2")
+        assert c.image is new_image
+
+    def test_repack_l2_swaps_runtime_volume(self, cleaner):
+        c = make_container(1)  # flask runtime
+        cleaner.initial_mount(c, "f1")
+        result = cleaner.repack(c, make_image("n", runtime_names=("numpy",)),
+                                "f2")
+        assert result.match is MatchLevel.L2
+        unmounted_kinds = {v.kind for v in result.unmounted}
+        assert VolumeKind.RUNTIME in unmounted_kinds
+
+    def test_repack_os_mismatch_is_security_violation(self, cleaner):
+        c = make_container(1, image=make_image("a", os_name="alpine"))
+        cleaner.initial_mount(c, "f1")
+        with pytest.raises(SecurityViolation):
+            cleaner.repack(c, make_image("d", os_name="debian"), "f2")
+
+    def test_no_foreign_user_data_after_repack(self, cleaner):
+        c = make_container(1)
+        cleaner.initial_mount(c, "alice")
+        cleaner.repack(c, make_image("x", runtime_names=("numpy",)), "bob")
+        owners = [
+            v.owner_function
+            for v in c.mounted_volumes
+            if v.kind is VolumeKind.USER_DATA
+        ]
+        assert owners == ["bob"]
+
+    def test_repack_count(self, cleaner):
+        c = make_container(1)
+        cleaner.initial_mount(c, "f1")
+        cleaner.repack(c, make_image("x"), "f2")
+        cleaner.repack(c, make_image("y"), "f3")
+        assert cleaner.repack_count == 2
+
+
+# -- property: user-data isolation holds under arbitrary repack chains --------
+
+functions = st.sampled_from(["alice", "bob", "carol", "dave"])
+runtimes = st.sets(st.sampled_from(["flask", "numpy", "pandas"]), max_size=2)
+langs = st.sampled_from(["python", "nodejs"])
+
+
+@given(st.lists(st.tuples(functions, langs, runtimes), min_size=1,
+                max_size=12))
+def test_user_data_isolation_invariant(chain):
+    """After any chain of repacks, only the current user's data is mounted."""
+    cleaner = ContainerCleaner(VolumeStore())
+    first_fn, first_lang, first_rts = chain[0]
+    container = make_container(
+        1, image=make_image("img0", lang_name=first_lang,
+                            runtime_names=tuple(first_rts))
+    )
+    cleaner.initial_mount(container, first_fn)
+    current = first_fn
+    for i, (fn, lang, rts) in enumerate(chain[1:], start=1):
+        new_image = make_image(f"img{i}", lang_name=lang,
+                               runtime_names=tuple(rts))
+        cleaner.repack(container, new_image, fn)
+        current = fn
+        for vol in container.mounted_volumes:
+            if vol.kind is VolumeKind.USER_DATA:
+                assert vol.owner_function == current

@@ -1,0 +1,128 @@
+"""Tests for Table-I multi-level matching."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.containers.image import FunctionImage
+from repro.containers.matching import MatchLevel, best_match, match_level
+from repro.packages.package import PackageLevel, PackageSet
+
+from conftest import make_image, make_package
+
+
+class TestMatchLevel:
+    def test_full_match(self):
+        a = make_image("a")
+        b = make_image("b")
+        assert match_level(a, b) is MatchLevel.L3
+
+    def test_l2_match_runtime_differs(self):
+        a = make_image("a", runtime_names=("flask",))
+        b = make_image("b", runtime_names=("flask", "numpy"))
+        assert match_level(a, b) is MatchLevel.L2
+
+    def test_l1_match_language_differs(self):
+        a = make_image("a", lang_name="python")
+        b = make_image("b", lang_name="nodejs")
+        assert match_level(a, b) is MatchLevel.L1
+
+    def test_no_match_os_differs(self):
+        a = make_image("a", os_name="alpine")
+        b = make_image("b", os_name="debian")
+        assert match_level(a, b) is MatchLevel.NO_MATCH
+
+    def test_pruning_os_mismatch_hides_identical_runtime(self):
+        """OS mismatch returns NO_MATCH even if L2/L3 are identical."""
+        a = make_image("a", os_name="alpine", runtime_names=("flask",))
+        b = make_image("b", os_name="debian", runtime_names=("flask",))
+        assert match_level(a, b) is MatchLevel.NO_MATCH
+
+    def test_whole_level_semantics(self):
+        """A superset at a level is NOT a match (levels compare as wholes)."""
+        base = make_image("base", runtime_names=("flask",))
+        superset = make_image("sup", runtime_names=("flask", "numpy"))
+        assert match_level(base, superset) is not MatchLevel.L3
+
+    def test_symmetry(self):
+        a = make_image("a", runtime_names=("flask",))
+        b = make_image("b", runtime_names=("numpy",))
+        assert match_level(a, b) is match_level(b, a)
+
+    def test_reusable_property(self):
+        assert not MatchLevel.NO_MATCH.is_reusable
+        for lvl in (MatchLevel.L1, MatchLevel.L2, MatchLevel.L3):
+            assert lvl.is_reusable
+
+    def test_ordering(self):
+        assert (MatchLevel.NO_MATCH < MatchLevel.L1 < MatchLevel.L2
+                < MatchLevel.L3)
+
+
+class TestBestMatch:
+    def test_empty_candidates(self):
+        handle, level = best_match(make_image("f"), [])
+        assert handle is None
+        assert level is MatchLevel.NO_MATCH
+
+    def test_picks_deepest(self):
+        f = make_image("f", runtime_names=("flask",))
+        c_l1 = make_image("c1", lang_name="nodejs")
+        c_l2 = make_image("c2", runtime_names=("numpy",))
+        c_l3 = make_image("c3", runtime_names=("flask",))
+        handle, level = best_match(
+            f, [("a", c_l1), ("b", c_l2), ("c", c_l3)]
+        )
+        assert handle == "c"
+        assert level is MatchLevel.L3
+
+    def test_ties_keep_first(self):
+        f = make_image("f")
+        c1 = make_image("c1", runtime_names=("numpy",))
+        c2 = make_image("c2", runtime_names=("pandas",))
+        handle, level = best_match(f, [("first", c1), ("second", c2)])
+        assert handle == "first"
+        assert level is MatchLevel.L2
+
+    def test_stops_early_on_full_match(self):
+        """Candidates after an L3 hit are not inspected (generator proof)."""
+        f = make_image("f")
+        seen = []
+
+        def gen():
+            for i, img in enumerate(
+                [make_image("c0"), make_image("c1", lang_name="nodejs")]
+            ):
+                seen.append(i)
+                yield (i, img)
+
+        handle, level = best_match(f, gen())
+        assert level is MatchLevel.L3
+        assert seen == [0]
+
+
+# -- property-based -----------------------------------------------------------
+
+level_strategy = st.sampled_from(["alpine", "debian", "centos"])
+lang_strategy = st.sampled_from(["python", "nodejs", "java"])
+rt_strategy = st.sets(st.sampled_from(["flask", "numpy", "pandas"]),
+                      max_size=3)
+
+
+@given(level_strategy, lang_strategy, rt_strategy,
+       level_strategy, lang_strategy, rt_strategy)
+def test_match_level_consistent_with_level_equality(os1, l1, r1, os2, l2, r2):
+    a = make_image("a", os_name=os1, lang_name=l1, runtime_names=tuple(r1))
+    b = make_image("b", os_name=os2, lang_name=l2, runtime_names=tuple(r2))
+    result = match_level(a, b)
+    os_eq = a.os_packages == b.os_packages
+    lang_eq = a.language_packages == b.language_packages
+    rt_eq = a.runtime_packages == b.runtime_packages
+    if not os_eq:
+        assert result is MatchLevel.NO_MATCH
+    elif not lang_eq:
+        assert result is MatchLevel.L1
+    elif not rt_eq:
+        assert result is MatchLevel.L2
+    else:
+        assert result is MatchLevel.L3

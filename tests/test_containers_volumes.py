@@ -1,0 +1,91 @@
+"""Tests for the volume model."""
+
+import pytest
+
+from repro.containers.volumes import (
+    Volume,
+    VolumeKind,
+    VolumeStore,
+    volumes_for_image,
+)
+from repro.packages.package import PackageLevel
+
+from conftest import make_image, make_package
+
+
+class TestVolume:
+    def test_user_data_requires_owner(self):
+        with pytest.raises(ValueError):
+            Volume(1, VolumeKind.USER_DATA)
+
+    def test_user_data_carries_no_packages(self):
+        with pytest.raises(ValueError):
+            Volume(1, VolumeKind.USER_DATA, owner_function="f",
+                   packages=frozenset([make_package()]))
+
+    def test_package_volume_has_no_owner(self):
+        with pytest.raises(ValueError):
+            Volume(1, VolumeKind.RUNTIME, owner_function="f")
+
+    def test_language_volume_rejects_runtime_packages(self):
+        rt = make_package("x", level=PackageLevel.RUNTIME)
+        with pytest.raises(ValueError):
+            Volume(1, VolumeKind.LANGUAGE, packages=frozenset([rt]))
+
+    def test_runtime_volume_rejects_language_packages(self):
+        lang = make_package("x", level=PackageLevel.LANGUAGE)
+        with pytest.raises(ValueError):
+            Volume(1, VolumeKind.RUNTIME, packages=frozenset([lang]))
+
+
+class TestVolumeStore:
+    def test_package_volume_deduplicated_by_content(self):
+        store = VolumeStore()
+        pkgs = [make_package("a", level=PackageLevel.RUNTIME)]
+        v1 = store.package_volume(VolumeKind.RUNTIME, pkgs)
+        v2 = store.package_volume(VolumeKind.RUNTIME, pkgs)
+        assert v1 is v2
+
+    def test_different_contents_different_volumes(self):
+        store = VolumeStore()
+        v1 = store.package_volume(
+            VolumeKind.RUNTIME, [make_package("a", level=PackageLevel.RUNTIME)]
+        )
+        v2 = store.package_volume(
+            VolumeKind.RUNTIME, [make_package("b", level=PackageLevel.RUNTIME)]
+        )
+        assert v1.volume_id != v2.volume_id
+
+    def test_user_volume_per_function(self):
+        store = VolumeStore()
+        assert store.user_data_volume("f") is store.user_data_volume("f")
+        assert store.user_data_volume("f") is not store.user_data_volume("g")
+
+    def test_user_data_via_package_volume_rejected(self):
+        with pytest.raises(ValueError):
+            VolumeStore().package_volume(VolumeKind.USER_DATA, [])
+
+    def test_mount_accounting(self):
+        store = VolumeStore()
+        store.record_mount(3)
+        store.record_unmount(2)
+        assert store.mount_count == 3
+        assert store.unmount_count == 2
+
+
+class TestVolumesForImage:
+    def test_full_set(self):
+        store = VolumeStore()
+        img = make_image()
+        vols = volumes_for_image(
+            store, img.language_packages, img.runtime_packages, "f"
+        )
+        kinds = [v.kind for v in vols]
+        assert kinds.count(VolumeKind.LANGUAGE) == 1
+        assert kinds.count(VolumeKind.RUNTIME) == 1
+        assert kinds.count(VolumeKind.USER_DATA) == 1
+
+    def test_empty_levels_skip_volumes(self):
+        store = VolumeStore()
+        vols = volumes_for_image(store, [], [], "f")
+        assert [v.kind for v in vols] == [VolumeKind.USER_DATA]

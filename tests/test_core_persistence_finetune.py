@@ -1,0 +1,132 @@
+"""Tests for policy persistence and online fine-tuning."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.simulator import SimulationConfig
+from repro.core.config import MLCRConfig
+from repro.core.finetune import OnlineFineTuner
+from repro.core.mlcr import train_mlcr_scheduler
+from repro.core.persistence import load_scheduler, save_scheduler
+from repro.drl.dqn import DQNConfig
+from repro.experiments.common import evaluate_scheduler
+
+from test_core_env_trainer import tiny_config, tiny_workload
+
+
+@pytest.fixture(scope="module")
+def trained():
+    cfg = tiny_config()
+    scheduler, _ = train_mlcr_scheduler(
+        workload_factory=lambda ep: tiny_workload(seed=ep % 2),
+        sim_config=SimulationConfig(pool_capacity_mb=10_000.0),
+        config=cfg,
+    )
+    return scheduler, cfg
+
+
+class TestPersistence:
+    def test_roundtrip_identical_decisions(self, trained, tmp_path):
+        scheduler, cfg = trained
+        path = save_scheduler(scheduler, cfg, tmp_path / "policy.npz")
+        loaded = load_scheduler(path)
+
+        wl = tiny_workload(seed=9)
+        a = evaluate_scheduler(scheduler, wl, 10_000.0, "x")
+        b = evaluate_scheduler(loaded, wl, 10_000.0, "x")
+        assert a.total_startup_s == pytest.approx(b.total_startup_s)
+        assert a.cold_starts == b.cold_starts
+
+    def test_weights_identical(self, trained, tmp_path):
+        scheduler, cfg = trained
+        path = save_scheduler(scheduler, cfg, tmp_path / "p.npz")
+        loaded = load_scheduler(path)
+        for key, value in scheduler.agent.online.state_dict().items():
+            np.testing.assert_array_equal(
+                value, loaded.agent.online.state_dict()[key]
+            )
+
+    def test_mlp_roundtrip(self, tmp_path):
+        cfg = tiny_config(use_attention=False)
+        scheduler, _ = train_mlcr_scheduler(
+            workload_factory=lambda ep: tiny_workload(seed=0),
+            sim_config=SimulationConfig(pool_capacity_mb=10_000.0),
+            config=cfg,
+        )
+        path = save_scheduler(scheduler, cfg, tmp_path / "mlp.npz")
+        loaded = load_scheduler(path)
+        from repro.drl.network import MLPQNetwork
+
+        assert isinstance(loaded.agent.online, MLPQNetwork)
+
+    def test_bad_version_rejected(self, trained, tmp_path):
+        import json
+
+        scheduler, cfg = trained
+        path = save_scheduler(scheduler, cfg, tmp_path / "p.npz")
+        data = dict(np.load(path, allow_pickle=False))
+        meta = json.loads(str(data["_meta"]))
+        meta["format_version"] = 99
+        data["_meta"] = np.array(json.dumps(meta))
+        np.savez(path, **data)
+        with pytest.raises(ValueError):
+            load_scheduler(path)
+
+
+class TestOnlineFineTuning:
+    def test_serves_valid_decisions_and_learns(self, trained):
+        scheduler, _ = trained
+        tuner = OnlineFineTuner(scheduler, epsilon=0.0,
+                                updates_per_decision=1)
+        res = evaluate_scheduler(tuner, tiny_workload(seed=4), 10_000.0, "x")
+        assert res.total_startup_s > 0
+        assert tuner.decisions == 12
+        assert tuner.updates > 0  # buffer was pre-filled by offline training
+
+    def test_exploration_bounds(self, trained):
+        scheduler, _ = trained
+        with pytest.raises(ValueError):
+            OnlineFineTuner(scheduler, epsilon=1.5)
+        with pytest.raises(ValueError):
+            OnlineFineTuner(scheduler, updates_per_decision=-1)
+
+    def test_weights_change_during_fine_tuning(self, trained):
+        scheduler, _ = trained
+        before = {
+            k: v.copy()
+            for k, v in scheduler.agent.online.state_dict().items()
+        }
+        tuner = OnlineFineTuner(scheduler, epsilon=0.1,
+                                updates_per_decision=2)
+        evaluate_scheduler(tuner, tiny_workload(seed=5), 10_000.0, "x")
+        after = scheduler.agent.online.state_dict()
+        changed = any(
+            not np.array_equal(before[k], after[k]) for k in before
+        )
+        assert changed
+
+    def test_reset_clears_pending(self, trained):
+        scheduler, _ = trained
+        tuner = OnlineFineTuner(scheduler)
+        evaluate_scheduler(tuner, tiny_workload(seed=6), 10_000.0, "x")
+        tuner.reset()
+        assert tuner._pending is None
+
+
+class TestDuelingPersistence:
+    def test_dueling_roundtrip(self, tmp_path):
+        cfg = tiny_config(use_dueling=True)
+        scheduler, _ = train_mlcr_scheduler(
+            workload_factory=lambda ep: tiny_workload(seed=0),
+            sim_config=SimulationConfig(pool_capacity_mb=10_000.0),
+            config=cfg,
+        )
+        path = save_scheduler(scheduler, cfg, tmp_path / "dueling.npz")
+        loaded = load_scheduler(path)
+        from repro.drl.network import DuelingAttentionQNetwork
+
+        assert isinstance(loaded.agent.online, DuelingAttentionQNetwork)
+        wl = tiny_workload(seed=3)
+        a = evaluate_scheduler(scheduler, wl, 10_000.0, "x")
+        b = evaluate_scheduler(loaded, wl, 10_000.0, "x")
+        assert a.total_startup_s == pytest.approx(b.total_startup_s)

@@ -1,0 +1,75 @@
+"""Gradient checks and behavioural tests for multi-head attention."""
+
+import numpy as np
+import pytest
+
+from repro.drl.attention import AttentionBlock, MultiHeadAttention
+
+from test_drl_layers import check_gradients
+
+
+class TestMultiHeadAttention:
+    def test_output_shape(self, rng):
+        mha = MultiHeadAttention(8, 2, rng)
+        x = rng.normal(size=(3, 5, 8))
+        assert mha.forward(x).shape == (3, 5, 8)
+
+    def test_indivisible_heads_rejected(self, rng):
+        with pytest.raises(ValueError):
+            MultiHeadAttention(7, 2, rng)
+
+    def test_wrong_input_shape(self, rng):
+        mha = MultiHeadAttention(8, 2, rng)
+        with pytest.raises(ValueError):
+            mha.forward(rng.normal(size=(3, 8)))
+
+    def test_gradients(self, rng):
+        mha = MultiHeadAttention(8, 2, rng)
+        check_gradients(mha, rng.normal(size=(2, 4, 8)), rng, atol=1e-6)
+
+    def test_gradients_single_head(self, rng):
+        mha = MultiHeadAttention(6, 1, rng)
+        check_gradients(mha, rng.normal(size=(2, 3, 6)), rng, atol=1e-6)
+
+    def test_backward_before_forward(self, rng):
+        with pytest.raises(RuntimeError):
+            MultiHeadAttention(8, 2, rng).backward(np.zeros((1, 2, 8)))
+
+    def test_tokens_interact(self, rng):
+        """Perturbing one token changes other tokens' outputs."""
+        mha = MultiHeadAttention(8, 2, rng)
+        x = rng.normal(size=(1, 4, 8))
+        base = mha.forward(x)
+        x2 = x.copy()
+        x2[0, 0] += 1.0
+        out = mha.forward(x2)
+        assert not np.allclose(base[0, 3], out[0, 3])
+
+    def test_permutation_equivariance(self, rng):
+        """Self-attention commutes with token permutation."""
+        mha = MultiHeadAttention(8, 2, rng)
+        x = rng.normal(size=(1, 5, 8))
+        perm = np.array([2, 0, 4, 1, 3])
+        out_perm = mha.forward(x[:, perm, :])
+        np.testing.assert_allclose(out_perm, mha.forward(x)[:, perm, :],
+                                   atol=1e-10)
+
+
+class TestAttentionBlock:
+    def test_residual_structure(self, rng):
+        block = AttentionBlock(8, 2, rng)
+        x = rng.normal(size=(2, 3, 8))
+        # Zeroing the attention output projection makes the block identity.
+        block.attn.w_o.weight.value[...] = 0.0
+        block.attn.w_o.bias.value[...] = 0.0
+        np.testing.assert_allclose(block.forward(x), x)
+
+    def test_gradients(self, rng):
+        block = AttentionBlock(8, 2, rng)
+        check_gradients(block, rng.normal(size=(2, 4, 8)), rng, atol=1e-6)
+
+    def test_stacked_blocks_gradients(self, rng):
+        from repro.drl.layers import Sequential
+
+        net = Sequential(AttentionBlock(8, 2, rng), AttentionBlock(8, 2, rng))
+        check_gradients(net, rng.normal(size=(2, 3, 8)), rng, atol=1e-6)

@@ -1,0 +1,185 @@
+"""Gradient checks and unit tests for the layer framework."""
+
+import numpy as np
+import pytest
+
+from repro.drl.layers import (
+    LayerNorm,
+    Linear,
+    Module,
+    Parameter,
+    ReLU,
+    Sequential,
+)
+
+
+def numeric_param_grad(module, param, idx, x, proj, eps=1e-6):
+    """Central-difference derivative of sum(forward(x) * proj) wrt param."""
+    orig = param.value[idx]
+    param.value[idx] = orig + eps
+    up = float((module.forward(x) * proj).sum())
+    param.value[idx] = orig - eps
+    down = float((module.forward(x) * proj).sum())
+    param.value[idx] = orig
+    return (up - down) / (2 * eps)
+
+
+def check_gradients(module, x, rng, atol=1e-7):
+    """Verify analytic parameter and input grads against numeric ones."""
+    proj = rng.normal(size=module.forward(x).shape)
+    module.zero_grad()
+    module.forward(x)
+    dx = module.backward(proj)
+    # Parameter gradients.
+    for p in module.parameters():
+        for _ in range(3):
+            idx = tuple(int(rng.integers(0, s)) for s in p.value.shape)
+            num = numeric_param_grad(module, p, idx, x, proj)
+            assert abs(num - p.grad[idx]) < atol * max(1.0, abs(num)), (
+                p.name, idx, num, p.grad[idx]
+            )
+    # Input gradient.
+    for _ in range(3):
+        idx = tuple(int(rng.integers(0, s)) for s in x.shape)
+        orig = x[idx]
+        eps = 1e-6
+        x[idx] = orig + eps
+        up = float((module.forward(x) * proj).sum())
+        x[idx] = orig - eps
+        down = float((module.forward(x) * proj).sum())
+        x[idx] = orig
+        num = (up - down) / (2 * eps)
+        assert abs(num - dx[idx]) < atol * max(1.0, abs(num))
+
+
+class TestParameter:
+    def test_zero_grad(self):
+        p = Parameter(np.ones(3))
+        p.grad += 5.0
+        p.zero_grad()
+        np.testing.assert_array_equal(p.grad, np.zeros(3))
+
+    def test_float64(self):
+        p = Parameter(np.ones(3, dtype=np.float32))
+        assert p.value.dtype == np.float64
+
+
+class TestLinear:
+    def test_forward_shape_flat(self, rng):
+        lin = Linear(4, 7, rng)
+        assert lin.forward(rng.normal(size=(5, 4))).shape == (5, 7)
+
+    def test_forward_shape_tokens(self, rng):
+        lin = Linear(4, 7, rng)
+        assert lin.forward(rng.normal(size=(5, 3, 4))).shape == (5, 3, 7)
+
+    def test_wrong_input_dim(self, rng):
+        with pytest.raises(ValueError):
+            Linear(4, 7, rng).forward(rng.normal(size=(5, 3)))
+
+    def test_backward_before_forward(self, rng):
+        with pytest.raises(RuntimeError):
+            Linear(4, 7, rng).backward(rng.normal(size=(5, 7)))
+
+    def test_gradients_flat(self, rng):
+        lin = Linear(4, 3, rng)
+        check_gradients(lin, rng.normal(size=(6, 4)), rng)
+
+    def test_gradients_tokens(self, rng):
+        lin = Linear(4, 3, rng)
+        check_gradients(lin, rng.normal(size=(2, 5, 4)), rng)
+
+    def test_no_bias(self, rng):
+        lin = Linear(4, 3, rng, bias=False)
+        assert lin.bias is None
+        check_gradients(lin, rng.normal(size=(6, 4)), rng)
+
+    def test_bad_dims_rejected(self, rng):
+        with pytest.raises(ValueError):
+            Linear(0, 3, rng)
+
+
+class TestReLU:
+    def test_forward(self):
+        relu = ReLU()
+        out = relu.forward(np.array([-1.0, 0.0, 2.0]))
+        np.testing.assert_array_equal(out, [0.0, 0.0, 2.0])
+
+    def test_backward_masks(self):
+        relu = ReLU()
+        relu.forward(np.array([-1.0, 3.0]))
+        grad = relu.backward(np.array([10.0, 10.0]))
+        np.testing.assert_array_equal(grad, [0.0, 10.0])
+
+    def test_backward_before_forward(self):
+        with pytest.raises(RuntimeError):
+            ReLU().backward(np.ones(3))
+
+
+class TestLayerNorm:
+    def test_normalizes(self, rng):
+        ln = LayerNorm(8)
+        out = ln.forward(rng.normal(size=(4, 8)) * 10 + 5)
+        np.testing.assert_allclose(out.mean(axis=-1), 0.0, atol=1e-9)
+        np.testing.assert_allclose(out.std(axis=-1), 1.0, atol=1e-4)
+
+    def test_gradients(self, rng):
+        ln = LayerNorm(6)
+        # Nudge gamma/beta off their init for a non-trivial check.
+        ln.gamma.value += rng.normal(size=6) * 0.1
+        ln.beta.value += rng.normal(size=6) * 0.1
+        check_gradients(ln, rng.normal(size=(3, 6)), rng)
+
+    def test_gradients_tokens(self, rng):
+        ln = LayerNorm(6)
+        check_gradients(ln, rng.normal(size=(2, 4, 6)), rng)
+
+    def test_wrong_dim(self, rng):
+        with pytest.raises(ValueError):
+            LayerNorm(6).forward(rng.normal(size=(3, 5)))
+
+
+class TestSequential:
+    def test_chains(self, rng):
+        net = Sequential(Linear(4, 8, rng), ReLU(), Linear(8, 2, rng))
+        assert net.forward(rng.normal(size=(3, 4))).shape == (3, 2)
+        assert len(net) == 3
+
+    def test_gradients(self, rng):
+        net = Sequential(Linear(4, 8, rng), ReLU(), Linear(8, 2, rng),
+                         LayerNorm(2))
+        check_gradients(net, rng.normal(size=(3, 4)), rng)
+
+    def test_collects_parameters(self, rng):
+        net = Sequential(Linear(4, 8, rng), ReLU(), Linear(8, 2, rng))
+        assert len(net.parameters()) == 4  # two weights + two biases
+
+
+class TestStateDict:
+    def test_roundtrip(self, rng):
+        a = Sequential(Linear(4, 8, rng), ReLU(), Linear(8, 2, rng))
+        b = Sequential(Linear(4, 8, rng), ReLU(), Linear(8, 2, rng))
+        x = rng.normal(size=(3, 4))
+        assert not np.allclose(a.forward(x), b.forward(x))
+        b.load_state_dict(a.state_dict())
+        np.testing.assert_allclose(a.forward(x), b.forward(x))
+
+    def test_shape_mismatch_rejected(self, rng):
+        a = Linear(4, 8, rng)
+        b = Linear(4, 9, rng)
+        with pytest.raises(ValueError):
+            b.load_state_dict(a.state_dict())
+
+    def test_count_mismatch_rejected(self, rng):
+        a = Linear(4, 8, rng, bias=False)
+        b = Linear(4, 8, rng)
+        with pytest.raises(ValueError):
+            b.load_state_dict(a.state_dict())
+
+    def test_copy_from(self, rng):
+        a, b = Linear(4, 4, rng), Linear(4, 4, rng)
+        b.copy_from(a)
+        np.testing.assert_array_equal(a.weight.value, b.weight.value)
+        # Copies, not aliases.
+        a.weight.value += 1.0
+        assert not np.allclose(a.weight.value, b.weight.value)

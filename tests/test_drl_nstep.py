@@ -1,0 +1,119 @@
+"""Tests for n-step return support in replay and DQN targets."""
+
+import numpy as np
+import pytest
+
+from repro.drl.dqn import DQNAgent, DQNConfig
+from repro.drl.network import MLPQNetwork
+from repro.drl.replay import ReplayBuffer, Transition
+
+
+def agent_with(gamma=0.5, n=3):
+    return DQNAgent(
+        network_factory=lambda: MLPQNetwork(3, 2, 2, np.random.default_rng(1),
+                                            hidden=16),
+        config=DQNConfig(batch_size=8, buffer_capacity=64, gamma=gamma,
+                         lr=3e-3, target_sync_every=10),
+        rng=np.random.default_rng(2),
+    )
+
+
+class TestReplayNStep:
+    def test_n_steps_stored_and_sampled(self):
+        buf = ReplayBuffer(8, 4, 3)
+        buf.add(Transition(np.zeros(4), 0, 1.0, np.zeros(4),
+                           np.ones(3, dtype=bool), False, n_steps=5))
+        batch = buf.sample(4, np.random.default_rng(0))
+        assert (batch["n_steps"] == 5).all()
+
+    def test_default_is_one_step(self):
+        buf = ReplayBuffer(8, 4, 3)
+        buf.add(Transition(np.zeros(4), 0, 1.0, np.zeros(4),
+                           np.ones(3, dtype=bool), False))
+        batch = buf.sample(2, np.random.default_rng(0))
+        assert (batch["n_steps"] == 1).all()
+
+    def test_invalid_n_steps_rejected(self):
+        buf = ReplayBuffer(8, 4, 3)
+        with pytest.raises(ValueError):
+            buf.add(Transition(np.zeros(4), 0, 1.0, np.zeros(4),
+                               np.ones(3, dtype=bool), False, n_steps=0))
+
+
+class TestNStepTargets:
+    def test_bootstrap_discount_scales_with_n(self):
+        """Fixed-point check: with n-step reward R and gamma^n bootstrap,
+        a constant MDP converges to R / (1 - gamma^n)."""
+        gamma, n, reward = 0.5, 2, 1.5
+        agent = agent_with(gamma=gamma)
+        state = np.ones(agent.online.state_dim)
+        mask = np.ones(agent.action_dim, dtype=bool)
+        for _ in range(32):
+            agent.remember(Transition(state, 0, reward, state, mask, False,
+                                      n_steps=n))
+        for _ in range(500):
+            agent.train_step()
+        expected = reward / (1 - gamma**n)
+        assert agent.q_values(state)[0] == pytest.approx(expected, rel=0.15)
+
+
+class TestTrainerNStepAccumulation:
+    def test_trainer_emits_one_transition_per_decision(self):
+        from repro.cluster.simulator import SimulationConfig
+        from repro.core.config import MLCRConfig
+        from repro.core.env import SchedulingEnv
+        from repro.core.state import StateEncoder
+        from repro.core.trainer import MLCRTrainer
+        from test_core_env_trainer import tiny_workload
+
+        env = SchedulingEnv(
+            lambda ep: tiny_workload(0, n=10),
+            SimulationConfig(pool_capacity_mb=10_000.0),
+            StateEncoder(n_slots=4),
+        )
+        cfg = MLCRConfig(
+            n_slots=4, model_dim=8, head_hidden=8, n_episodes=1,
+            demo_episodes=0, eval_every=0, n_step=3,
+            epsilon_decay_steps=50,
+            dqn=DQNConfig(batch_size=4, buffer_capacity=256,
+                          target_sync_every=10),
+        )
+        trainer = MLCRTrainer(env, cfg)
+        trainer.train()
+        assert len(trainer.agent.buffer) == 10
+
+    def test_discounted_reward_accumulation(self):
+        """The emitted n-step reward equals sum(gamma^i * r_i)."""
+        from repro.cluster.simulator import SimulationConfig
+        from repro.core.config import MLCRConfig
+        from repro.core.env import SchedulingEnv
+        from repro.core.state import StateEncoder
+        from repro.core.trainer import MLCRTrainer
+        from test_core_env_trainer import tiny_workload
+
+        env = SchedulingEnv(
+            lambda ep: tiny_workload(0, n=6),
+            SimulationConfig(pool_capacity_mb=10_000.0),
+            StateEncoder(n_slots=4),
+        )
+        gamma = 0.9
+        cfg = MLCRConfig(
+            n_slots=4, model_dim=8, head_hidden=8, n_episodes=1,
+            demo_episodes=0, eval_every=0, n_step=2, epsilon_start=0.0,
+            epsilon_end=0.0, epsilon_decay_steps=1,
+            dqn=DQNConfig(batch_size=4, buffer_capacity=256, gamma=gamma,
+                          target_sync_every=1000),
+        )
+        trainer = MLCRTrainer(env, cfg)
+        rewards = []
+        original = trainer.agent.remember
+
+        def spy(transition):
+            rewards.append((transition.reward, transition.n_steps))
+            original(transition)
+
+        trainer.agent.remember = spy
+        trainer.train()
+        # 6 decisions -> 6 transitions; the non-terminal ones span 2 steps.
+        assert len(rewards) == 6
+        assert {n for _, n in rewards[:-1]} <= {1, 2}

@@ -1,0 +1,99 @@
+"""Micro-scale runs of the training-heavy experiment modules.
+
+Uses a deliberately tiny :class:`ExperimentScale` so the fig8/9/10/11,
+overhead and ablation code paths are exercised inside the unit suite in
+seconds; the real budgets live in ``benchmarks/``.
+"""
+
+import pytest
+
+from repro.experiments import (
+    fig8_overall,
+    fig9_trajectory,
+    fig10_memory,
+    fig11_benchmarks,
+    overhead,
+)
+from repro.experiments.common import ExperimentScale, clear_mlcr_cache
+
+MICRO = ExperimentScale(
+    repeats=1,
+    train_episodes=1,
+    demo_episodes=1,
+    n_slots=6,
+    model_dim=8,
+    fig11_pool_fractions=(1.0,),
+    restarts=1,
+)
+
+
+@pytest.fixture(autouse=True, scope="module")
+def _fresh_cache():
+    clear_mlcr_cache()
+    yield
+    clear_mlcr_cache()
+
+
+@pytest.mark.slow
+class TestFig8Micro:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig8_overall.run(MICRO)
+
+    def test_all_cells_present(self, result):
+        assert len(result.cells) == 5 * 3  # methods x pool sizes
+
+    def test_capacities_ordered(self, result):
+        caps = list(result.capacities.values())
+        assert caps == sorted(caps)
+
+    def test_report_renders(self, result):
+        text = fig8_overall.report(result)
+        assert "MLCR" in text and "Tight" in text
+
+    def test_reduction_helper(self, result):
+        value = result.mlcr_reduction_vs("LRU", "Tight")
+        assert -100.0 < value < 100.0
+
+
+@pytest.mark.slow
+class TestFig9Micro:
+    def test_series_shapes(self):
+        result = fig9_trajectory.run(MICRO)
+        assert len(result.arrival_index) == 400
+        assert result.greedy_cum_latency.shape == result.mlcr_cum_latency.shape
+        text = fig9_trajectory.report(result)
+        assert "final latency gap" in text
+
+
+@pytest.mark.slow
+class TestFig10Micro:
+    def test_rows_and_report(self):
+        result = fig10_memory.run(MICRO)
+        assert {r.method for r in result.rows} == {
+            "LRU", "FaasCache", "KeepAlive", "Greedy-Match", "MLCR"
+        }
+        assert all(0.0 <= r.pool_utilization <= 1.0 + 1e-9
+                   for r in result.rows)
+        assert "pool util" in fig10_memory.report(result)
+
+
+@pytest.mark.slow
+class TestFig11Micro:
+    def test_subfigure_a(self):
+        result = fig11_benchmarks.run_subfigure("a:similarity", MICRO)
+        assert {b.workload for b in result.boxes} == {"HI-Sim", "LO-Sim"}
+        assert "Fig 11a" in fig11_benchmarks.report(result)
+
+    def test_unknown_subfigure(self):
+        with pytest.raises(KeyError):
+            fig11_benchmarks.run_subfigure("z:nope", MICRO)
+
+
+@pytest.mark.slow
+class TestOverheadMicro:
+    def test_overhead_runs(self):
+        result = overhead.run(MICRO)
+        assert result.decisions == 400
+        assert result.mean_decision_ms > 0
+        assert "decision time" in overhead.report(result)

@@ -1,0 +1,37 @@
+"""Tests for the pool-sharding extension experiment."""
+
+import pytest
+
+from repro.experiments import sharding
+from repro.experiments.common import ExperimentScale
+
+
+MICRO = ExperimentScale(
+    repeats=1, train_episodes=1, demo_episodes=0, n_slots=6, model_dim=8,
+    fig11_pool_fractions=(1.0,), restarts=1,
+)
+
+
+class TestShardingExperiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return sharding.run(MICRO, worker_counts=(1, 4))
+
+    def test_rows_complete(self, result):
+        assert len(result.rows) == 4  # 2 methods x 2 worker counts
+
+    def test_row_lookup(self, result):
+        row = result.row("LRU", 4)
+        assert row.n_workers == 4
+        with pytest.raises(KeyError):
+            result.row("LRU", 99)
+
+    def test_fragmentation_not_better(self, result):
+        for method in ("LRU", "Greedy-Match"):
+            one = result.row(method, 1).total_startup_s
+            four = result.row(method, 4).total_startup_s
+            assert four >= 0.95 * one
+
+    def test_report_renders(self, result):
+        text = sharding.report(result)
+        assert "sharding" in text and "workers" in text

@@ -1,0 +1,95 @@
+"""Tests for the training-free experiments (fig1, fig2, fig3, tab2)."""
+
+import pytest
+
+from repro.containers.matching import MatchLevel
+from repro.experiments import fig1_breakdown, fig2_motivation, fig3_dockerhub
+from repro.experiments import tab2_functions
+
+
+class TestFig1:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig1_breakdown.run()
+
+    def test_warm_always_faster(self, result):
+        for label in result.cold:
+            assert result.warm[label].total_s < result.cold[label].total_s
+
+    def test_speedup_shape(self, result):
+        """Paper: W accelerates startup by up to 14x over C."""
+        assert result.max_speedup > 3.0
+
+    def test_probes_reusable(self, result):
+        assert all(m.is_reusable for m in result.match_levels.values())
+
+    def test_warm_skips_create(self, result):
+        for bd in result.warm.values():
+            assert bd.create_s == 0.0
+            assert bd.clean_s > 0.0
+
+    def test_report_renders(self, result):
+        text = fig1_breakdown.report(result)
+        assert "speedups" in text and "Fig 1" in text
+
+
+class TestFig2:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig2_motivation.run()
+
+    def test_greedy_is_suboptimal(self, result):
+        """The paper's core motivation: best-effort != globally best."""
+        assert result.greedy_is_suboptimal
+        assert result.policy1_total_s > result.policy2_total_s
+
+    def test_option_table_structure(self, result):
+        assert set(result.options) == {"F2", "F3"}
+        for row in result.options.values():
+            assert set(row) == {"C1", "C2", "cold"}
+
+    def test_f2_full_match_is_cheap(self, result):
+        assert result.options["F2"]["C1"] < 0.2
+
+    def test_c2_unusable_by_both(self, result):
+        assert result.options["F2"]["C2"] != result.options["F2"]["C2"]  # NaN
+        assert result.options["F3"]["C2"] != result.options["F3"]["C2"]
+
+    def test_report_renders(self, result):
+        text = fig2_motivation.report(result)
+        assert "Policy 1" in text and "Policy 2" in text
+
+
+class TestFig3:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig3_dockerhub.run()
+
+    def test_top4_share_near_77pct(self, result):
+        assert 0.70 <= result.top4_base_share <= 0.84
+
+    def test_top_lists_sorted(self, result):
+        pulls = [c for _, c in result.top_base_images]
+        assert pulls == sorted(pulls, reverse=True)
+
+    def test_report_renders(self, result):
+        text = fig3_dockerhub.report(result)
+        assert "ubuntu" in text and "77%" in text
+
+
+class TestTab2:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return tab2_functions.run()
+
+    def test_13_rows(self, result):
+        assert len(result.rows) == 13
+
+    def test_ratio_band(self, result):
+        assert result.min_ratio >= 1.2
+        assert result.max_ratio <= 170
+
+    def test_report_lists_all_functions(self, result):
+        text = tab2_functions.report(result)
+        for row in result.rows:
+            assert row.name in text

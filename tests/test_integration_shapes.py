@@ -1,0 +1,148 @@
+"""End-to-end integration tests asserting the paper's qualitative shapes.
+
+These use reduced workloads so the whole module stays fast, but they run
+the real pipeline: workload -> simulator -> schedulers -> telemetry.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster.simulator import ClusterSimulator, SimulationConfig
+from repro.experiments.common import evaluate_scheduler, pool_sizes
+from repro.schedulers import (
+    ColdOnlyScheduler,
+    GreedyMatchScheduler,
+    KeepAliveScheduler,
+    LRUScheduler,
+)
+from repro.workloads.fstartbench import overall_workload
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return overall_workload(seed=0, n=150)
+
+
+@pytest.fixture(scope="module")
+def sizes(workload):
+    return pool_sizes(workload)
+
+
+def run(scheduler, workload, capacity):
+    return evaluate_scheduler(scheduler, workload, capacity, "x")
+
+
+class TestWarmStartingHelps:
+    def test_any_reuse_beats_cold_only(self, workload, sizes):
+        cold = run(ColdOnlyScheduler(), workload, sizes["Loose"])
+        lru = run(LRUScheduler(), workload, sizes["Loose"])
+        assert lru.total_startup_s < cold.total_startup_s
+
+    def test_multilevel_reuse_cuts_cold_starts(self, workload, sizes):
+        """Fig 8b: Greedy-Match has far fewer cold starts than LRU."""
+        for label in ("Tight", "Loose"):
+            lru = run(LRUScheduler(), workload, sizes[label])
+            greedy = run(GreedyMatchScheduler(), workload, sizes[label])
+            assert greedy.cold_starts < lru.cold_starts
+
+    def test_bigger_pool_fewer_cold_starts(self, workload, sizes):
+        """Fig 8: latency decreases from Tight to Loose for every method."""
+        for scheduler_cls in (LRUScheduler, GreedyMatchScheduler,
+                              KeepAliveScheduler):
+            tight = run(scheduler_cls(), workload, sizes["Tight"])
+            loose = run(scheduler_cls(), workload, sizes["Loose"])
+            assert loose.total_startup_s < tight.total_startup_s
+
+
+class TestPoolAccounting:
+    def test_peak_memory_bounded_by_capacity(self, workload, sizes):
+        for label, cap in sizes.items():
+            res = run(GreedyMatchScheduler(), workload, cap)
+            assert res.peak_warm_memory_mb <= cap + 1e-6
+
+    def test_exact_matchers_fill_pool_multilevel_does_not(self, workload,
+                                                          sizes):
+        """Fig 10 shape: Greedy consumes less warm memory than LRU."""
+        lru = run(LRUScheduler(), workload, sizes["Loose"])
+        greedy = run(GreedyMatchScheduler(), workload, sizes["Loose"])
+        assert greedy.peak_warm_memory_mb <= lru.peak_warm_memory_mb
+
+
+class TestWorkloadFeatureShapes:
+    def test_hi_sim_easier_than_lo_sim(self):
+        """Fig 11a shape: every method is faster on HI-Sim."""
+        from repro.workloads.fstartbench import hi_sim_workload, lo_sim_workload
+
+        hi = hi_sim_workload(seed=0, n=120)
+        lo = lo_sim_workload(seed=0, n=120)
+        cap = pool_sizes(lo)["Moderate"]
+        for scheduler_cls in (LRUScheduler, GreedyMatchScheduler):
+            hi_res = run(scheduler_cls(), hi, cap)
+            lo_res = run(scheduler_cls(), lo, cap)
+            assert hi_res.total_startup_s < lo_res.total_startup_s
+
+
+class TestDeterminism:
+    def test_same_inputs_same_results(self, workload, sizes):
+        a = run(GreedyMatchScheduler(), workload, sizes["Tight"])
+        b = run(GreedyMatchScheduler(), workload, sizes["Tight"])
+        assert a.total_startup_s == b.total_startup_s
+        assert a.cold_starts == b.cold_starts
+
+    def test_cumulative_latency_matches_total(self, workload, sizes):
+        res = run(LRUScheduler(), workload, sizes["Tight"])
+        t = res.result.telemetry
+        assert t.cumulative_latency()[-1] == pytest.approx(
+            t.total_startup_latency_s
+        )
+
+
+class TestMLCRIntegration:
+    """Train a tiny MLCR and check it behaves like a real scheduler."""
+
+    @pytest.fixture(scope="class")
+    def trained(self):
+        from repro.core.config import MLCRConfig
+        from repro.core.mlcr import train_mlcr_scheduler
+        from repro.drl.dqn import DQNConfig
+
+        wl = overall_workload(seed=0, n=80)
+        cap = pool_sizes(wl)["Tight"]
+        cfg = MLCRConfig(
+            n_slots=8, model_dim=16, head_hidden=16, n_episodes=3,
+            demo_episodes=2, eval_every=2, eval_episodes=1,
+            epsilon_decay_steps=200,
+            dqn=DQNConfig(batch_size=16, buffer_capacity=2000,
+                          target_sync_every=50),
+        )
+        scheduler, history = train_mlcr_scheduler(
+            lambda ep: overall_workload(seed=100 + ep % 2, n=80),
+            SimulationConfig(pool_capacity_mb=cap),
+            cfg,
+        )
+        return scheduler, history, wl, cap
+
+    def test_training_produced_history(self, trained):
+        _, history, _, _ = trained
+        assert len(history.episode_latencies) == 3
+        assert history.best_eval_latency < float("inf")
+
+    def test_trained_scheduler_runs_clean(self, trained):
+        scheduler, _, wl, cap = trained
+        res = run(scheduler, wl, cap)
+        assert res.total_startup_s > 0
+        assert res.cold_starts >= 1  # the pool starts empty
+
+    def test_not_catastrophically_worse_than_greedy(self, trained):
+        scheduler, _, wl, cap = trained
+        mlcr = run(scheduler, wl, cap)
+        greedy = run(GreedyMatchScheduler(), wl, cap)
+        # Even a barely-trained policy stays in a sane band thanks to the
+        # action mask (cannot pick no-match containers).
+        assert mlcr.total_startup_s < 1.6 * greedy.total_startup_s
+
+    def test_deterministic_at_serve_time(self, trained):
+        scheduler, _, wl, cap = trained
+        a = run(scheduler, wl, cap)
+        b = run(scheduler, wl, cap)
+        assert a.total_startup_s == b.total_startup_s

@@ -1,0 +1,124 @@
+"""Tests for the automatic package-level classifier."""
+
+import pytest
+
+from repro.packages.classifier import (
+    Classification,
+    InstallHint,
+    PackageLevelClassifier,
+)
+from repro.packages.catalog import default_catalog
+from repro.packages.package import PackageLevel
+
+
+@pytest.fixture
+def classifier():
+    return PackageLevelClassifier(catalog=default_catalog())
+
+
+@pytest.fixture
+def blind():
+    """Classifier without catalog knowledge (pure heuristics)."""
+    return PackageLevelClassifier()
+
+
+class TestCatalogKnowledge:
+    def test_known_packages_are_exact(self, classifier):
+        c = classifier.classify("tensorflow")
+        assert c.level is PackageLevel.RUNTIME
+        assert c.confidence == 1.0
+        assert c.evidence == ("catalog",)
+
+    def test_version_suffix_stripped(self, classifier):
+        c = classifier.classify("tensorflow==2.12")
+        assert c.confidence == 1.0
+
+    def test_case_insensitive(self, classifier):
+        assert classifier.classify("TensorFlow").confidence == 1.0
+
+
+class TestLexicalRules:
+    @pytest.mark.parametrize("name,expected", [
+        ("ubuntu-minimal", PackageLevel.OS),
+        ("archlinux-keyring", PackageLevel.OS),
+        ("openjdk-17-headless", PackageLevel.LANGUAGE),
+        ("rustc", PackageLevel.LANGUAGE),
+        ("django-rest", PackageLevel.RUNTIME),
+        ("aws-sdk-cpp", PackageLevel.RUNTIME),
+    ])
+    def test_families(self, blind, name, expected):
+        assert blind.classify(name).level is expected
+
+    def test_unknown_defaults_to_runtime_low_confidence(self, blind):
+        c = blind.classify("zzqxj")
+        assert c.level is PackageLevel.RUNTIME
+        assert c.needs_review
+
+
+class TestStructuralHints:
+    def test_from_image_forces_os(self, blind):
+        c = blind.classify("mysterybase", install_hint=InstallHint.FROM_IMAGE)
+        assert c.level is PackageLevel.OS
+        assert not c.needs_review
+
+    def test_package_manager_leans_runtime(self, blind):
+        c = blind.classify("leftpad",
+                           install_hint=InstallHint.PACKAGE_MANAGER)
+        assert c.level is PackageLevel.RUNTIME
+
+    def test_source_build_leans_language(self, blind):
+        c = blind.classify("mylang", install_hint=InstallHint.SOURCE_BUILD)
+        assert c.level is PackageLevel.LANGUAGE
+
+    def test_invalid_hint_rejected(self, blind):
+        with pytest.raises(ValueError):
+            blind.classify("x", install_hint="nope")
+
+    def test_empty_name_rejected(self, blind):
+        with pytest.raises(ValueError):
+            blind.classify("   ")
+
+
+class TestSizePrior:
+    def test_large_unknown_is_not_runtime(self, blind):
+        c = blind.classify("bigthing", size_mb=400.0)
+        assert c.level in (PackageLevel.OS, PackageLevel.LANGUAGE)
+
+    def test_small_package_manager_install_is_runtime(self, blind):
+        c = blind.classify("tinylib", size_mb=2.0,
+                           install_hint=InstallHint.PACKAGE_MANAGER)
+        assert c.level is PackageLevel.RUNTIME
+        assert c.confidence > 0.6
+
+
+class TestBatchAndReview:
+    def test_classify_many(self, blind):
+        results = blind.classify_many(["ubuntu", "python", "flask"])
+        assert [c.level for c in results] == [
+            PackageLevel.OS, PackageLevel.LANGUAGE, PackageLevel.RUNTIME
+        ]
+
+    def test_review_queue_contains_low_confidence(self, blind):
+        results = blind.classify_many(["ubuntu", "zzqxj"])
+        queue = blind.review_queue(results)
+        assert [c.name for c in queue] == ["zzqxj"]
+
+    def test_confidence_bounds(self, blind):
+        for name in ("ubuntu", "python-dev", "weird-thing", "gcc"):
+            c = blind.classify(name)
+            assert 0.0 <= c.confidence <= 1.0
+
+
+class TestAgainstCatalogGroundTruth:
+    def test_heuristics_recover_catalog_tags(self):
+        """Blind classification agrees with expert tags on most of the
+        default catalog (the tool's acceptance bar)."""
+        catalog = default_catalog()
+        blind = PackageLevelClassifier()
+        hits = 0
+        total = 0
+        for pkg in catalog.all_packages():
+            c = blind.classify(pkg.name, size_mb=pkg.size_mb)
+            total += 1
+            hits += int(c.level is pkg.level)
+        assert hits / total >= 0.7

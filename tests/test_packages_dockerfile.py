@@ -1,0 +1,117 @@
+"""Unit tests for the Dockerfile-dialect parser."""
+
+import pytest
+
+from repro.packages.dockerfile import (
+    DockerfileParser,
+    DockerfileSyntaxError,
+    UnknownPackageError,
+)
+from repro.packages.package import PackageLevel
+
+
+@pytest.fixture
+def parser(catalog):
+    return DockerfileParser(catalog)
+
+
+FIG5_STYLE = """
+# Fig. 5-style deep learning image
+FROM debian-base:11
+RUN apt-get install -y glibc==2.31 coreutils==8.32 ca-certificates==2023
+RUN cd /tmp && \\
+    wget python.tgz && \\
+    install python==3.9.17 pip==23
+RUN pip install tensorflow==2.12 numpy==1.24
+WORKDIR /workspace
+"""
+
+
+class TestHappyPath:
+    def test_parses_all_levels(self, parser):
+        result = parser.parse(FIG5_STYLE)
+        ps = result.packages
+        assert {p.name for p in ps.os_packages} == {
+            "debian-base", "glibc", "coreutils", "ca-certificates"
+        }
+        assert {p.name for p in ps.language_packages} == {"python", "pip"}
+        assert {p.name for p in ps.runtime_packages} == {"tensorflow", "numpy"}
+
+    def test_base_image_identified(self, parser):
+        result = parser.parse(FIG5_STYLE)
+        assert result.base_image.name == "debian-base"
+        assert result.base_image.level is PackageLevel.OS
+
+    def test_total_size_positive(self, parser):
+        assert parser.parse(FIG5_STYLE).total_size_mb > 500  # tensorflow
+
+    def test_continuations_joined(self, parser):
+        text = "FROM alpine-base:3.18\nRUN install \\\n  flask==2.3"
+        result = parser.parse(text)
+        assert any(p.name == "flask" for p in result.packages)
+
+    def test_comments_and_blanks_ignored(self, parser):
+        text = "# hi\n\nFROM alpine-base:3.18\n  \n# bye\n"
+        assert parser.parse(text).base_image.name == "alpine-base"
+
+    def test_ignored_instructions(self, parser):
+        text = (
+            "FROM alpine-base:3.18\nWORKDIR /app\nENV X=1\nCOPY . .\n"
+            "EXPOSE 8080\nCMD [\"run\"]"
+        )
+        result = parser.parse(text)
+        assert len(result.packages) == 1
+
+    def test_non_install_run_segments_ignored(self, parser):
+        text = "FROM alpine-base:3.18\nRUN make && install flask==2.3 && make test"
+        result = parser.parse(text)
+        assert any(p.name == "flask" for p in result.packages)
+
+    def test_option_flags_skipped(self, parser):
+        text = "FROM alpine-base:3.18\nRUN pip install --no-cache -q flask==2.3"
+        result = parser.parse(text)
+        assert any(p.name == "flask" for p in result.packages)
+
+    def test_npm_and_yum_flavours(self, parser):
+        text = (
+            "FROM centos-base:7\n"
+            "RUN yum install -y gcc-toolchain==9\n"
+            "RUN npm install express==4.18\n"
+        )
+        result = parser.parse(text)
+        names = {p.name for p in result.packages}
+        assert {"gcc-toolchain", "express"} <= names
+
+
+class TestErrors:
+    def test_missing_from(self, parser):
+        with pytest.raises(DockerfileSyntaxError):
+            parser.parse("RUN install flask==2.3")
+
+    def test_duplicate_from(self, parser):
+        with pytest.raises(DockerfileSyntaxError):
+            parser.parse("FROM alpine-base:3.18\nFROM debian-base:11")
+
+    def test_bad_image_reference(self, parser):
+        with pytest.raises(DockerfileSyntaxError):
+            parser.parse("FROM justaname")
+
+    def test_unknown_base_image(self, parser):
+        with pytest.raises(UnknownPackageError):
+            parser.parse("FROM windows:11")
+
+    def test_unknown_package(self, parser):
+        with pytest.raises(UnknownPackageError):
+            parser.parse("FROM alpine-base:3.18\nRUN install leftpad==1.0")
+
+    def test_bad_package_spec(self, parser):
+        with pytest.raises(DockerfileSyntaxError):
+            parser.parse("FROM alpine-base:3.18\nRUN install flask@2.3")
+
+    def test_unknown_instruction(self, parser):
+        with pytest.raises(DockerfileSyntaxError):
+            parser.parse("FROM alpine-base:3.18\nHEALTHCHECK none")
+
+    def test_empty_dockerfile(self, parser):
+        with pytest.raises(DockerfileSyntaxError):
+            parser.parse("")

@@ -1,0 +1,104 @@
+"""Tests for Jaccard similarity and size-variance metrics."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.packages.package import PackageSet
+from repro.packages.similarity import (
+    jaccard_similarity,
+    package_size_variance,
+    pairwise_mean_similarity,
+)
+
+from conftest import make_package
+
+
+def pset(*names):
+    return PackageSet([make_package(n) for n in names])
+
+
+class TestJaccard:
+    def test_identical_sets(self):
+        a = pset("x", "y")
+        assert jaccard_similarity(a, a) == 1.0
+
+    def test_disjoint_sets(self):
+        assert jaccard_similarity(pset("a"), pset("b")) == 0.0
+
+    def test_partial_overlap(self):
+        assert jaccard_similarity(pset("a", "b"), pset("b", "c")) == pytest.approx(1 / 3)
+
+    def test_empty_sets_are_similar_by_convention(self):
+        assert jaccard_similarity(PackageSet(), PackageSet()) == 1.0
+
+    def test_empty_vs_nonempty(self):
+        assert jaccard_similarity(PackageSet(), pset("a")) == 0.0
+
+
+class TestPairwiseMean:
+    def test_single_set(self):
+        assert pairwise_mean_similarity([pset("a")]) == 1.0
+
+    def test_three_sets(self):
+        sets = [pset("a", "b"), pset("b", "c"), pset("x")]
+        expected = (1 / 3 + 0 + 0) / 3
+        assert pairwise_mean_similarity(sets) == pytest.approx(expected)
+
+
+class TestSizeVariance:
+    def test_empty(self):
+        assert package_size_variance([]) == 0.0
+
+    def test_uniform_sizes_zero_variance(self):
+        sets = [PackageSet([make_package(f"p{i}", size_mb=50.0)])
+                for i in range(4)]
+        assert package_size_variance(sets) == 0.0
+
+    def test_duplicated_packages_counted_once(self):
+        shared = make_package("shared", size_mb=100.0)
+        a = PackageSet([shared, make_package("a", size_mb=0.0)])
+        b = PackageSet([shared])
+        # Unique sizes are {100, 0}: population variance = 2500.
+        assert package_size_variance([a, b]) == pytest.approx(2500.0)
+
+
+# -- property-based ----------------------------------------------------------
+
+names = st.sets(st.text(alphabet="abcdefgh", min_size=1, max_size=3),
+                min_size=0, max_size=8)
+
+
+@given(names, names)
+def test_jaccard_symmetric(n1, n2):
+    a, b = pset(*n1), pset(*n2)
+    assert jaccard_similarity(a, b) == jaccard_similarity(b, a)
+
+
+@given(names, names)
+def test_jaccard_bounded(n1, n2):
+    v = jaccard_similarity(pset(*n1), pset(*n2))
+    assert 0.0 <= v <= 1.0
+
+
+@given(names)
+def test_jaccard_reflexive(n1):
+    a = pset(*n1)
+    assert jaccard_similarity(a, a) == 1.0
+
+
+@given(names, names, names)
+def test_jaccard_never_decreases_when_sharing_grows(n1, n2, shared):
+    """Adding the same packages to both sets never decreases similarity.
+
+    With i = |A n B| and u = |A u B| (i <= u), adding a common set S turns
+    the ratio into (i + di) / (u + du) with di >= du >= 0, which is >= i/u.
+    (Both-empty sets are already at the maximum 1.0 by convention.)
+    """
+    if not (set(n1) | set(n2)):
+        return
+    before = jaccard_similarity(pset(*n1), pset(*n2))
+    after = jaccard_similarity(
+        pset(*(set(n1) | set(shared))), pset(*(set(n2) | set(shared)))
+    )
+    assert after >= before - 1e-12

@@ -1,0 +1,86 @@
+"""Tests for arrival processes."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.arrivals import (
+    PeakArrivals,
+    PoissonArrivals,
+    RandomRateArrivals,
+    UniformArrivals,
+)
+
+
+class TestPoisson:
+    def test_count(self, rng):
+        times = PoissonArrivals(100, 2.0).generate(rng)
+        assert len(times) == 100
+
+    def test_sorted_and_positive(self, rng):
+        times = PoissonArrivals(50, 1.0).generate(rng)
+        assert (times > 0).all()
+        assert (np.diff(times) >= 0).all()
+
+    def test_rate(self):
+        rng = np.random.default_rng(0)
+        times = PoissonArrivals(20_000, 4.0).generate(rng)
+        rate = len(times) / times[-1]
+        assert rate == pytest.approx(4.0, rel=0.05)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PoissonArrivals(-1, 1.0)
+        with pytest.raises(ValueError):
+            PoissonArrivals(10, 0.0)
+
+
+class TestUniform:
+    def test_even_spacing(self, rng):
+        times = UniformArrivals(rate_per_minute=50, minutes=6).generate(rng)
+        assert len(times) == 300
+        np.testing.assert_allclose(np.diff(times), 60.0 / 50)
+
+    def test_starts_at_zero(self, rng):
+        assert UniformArrivals(10, 1).generate(rng)[0] == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            UniformArrivals(0, 1)
+
+
+class TestPeak:
+    def test_alternating_counts(self, rng):
+        times = PeakArrivals(80, 20, minutes=6).generate(rng)
+        assert len(times) == 3 * 80 + 3 * 20
+        per_minute = [
+            int(((times >= 60 * m) & (times < 60 * (m + 1))).sum())
+            for m in range(6)
+        ]
+        assert per_minute == [80, 20, 80, 20, 80, 20]
+
+    def test_start_low(self, rng):
+        times = PeakArrivals(80, 20, minutes=2, start_high=False).generate(rng)
+        first_minute = int((times < 60).sum())
+        assert first_minute == 20
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PeakArrivals(0, 20)
+
+
+class TestRandomRate:
+    def test_count_and_window(self, rng):
+        proc = RandomRateArrivals(300, rate_per_minute=50, minutes=6)
+        times = proc.generate(rng)
+        assert len(times) == 300
+        assert times.max() <= 360.0
+        assert (np.diff(times) >= 0).all()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RandomRateArrivals(0, 50, 6)
+
+    def test_determinism_per_seed(self):
+        a = RandomRateArrivals(50, 50, 1).generate(np.random.default_rng(1))
+        b = RandomRateArrivals(50, 50, 1).generate(np.random.default_rng(1))
+        np.testing.assert_array_equal(a, b)

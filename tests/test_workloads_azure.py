@@ -1,0 +1,72 @@
+"""Tests for the synthetic Azure-like trace generator."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.azure import AzureTraceConfig, AzureTraceGenerator
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        AzureTraceConfig()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AzureTraceConfig(n_functions=10, n_invocations=5)
+        with pytest.raises(ValueError):
+            AzureTraceConfig(single_invocation_fraction=1.0)
+        with pytest.raises(ValueError):
+            AzureTraceConfig(burstiness=2.0)
+
+
+class TestGeneratedTraces:
+    @pytest.fixture(scope="class")
+    def trace(self):
+        return AzureTraceGenerator().generate(seed=0)
+
+    def test_invocation_count(self, trace):
+        assert len(trace) == 500
+
+    def test_cited_statistics(self, trace):
+        """~19 % invoked once; >40 % invoked <= 2 times (Azure trace)."""
+        stats = AzureTraceGenerator.trace_statistics(trace)
+        assert 0.10 <= stats["frac_invoked_once"] <= 0.30
+        assert stats["frac_invoked_le2"] > 0.40
+
+    def test_skewed_popularity(self, trace):
+        counts = list(trace.invocation_counts().values())
+        assert max(counts) > 10 * min(counts)
+
+    def test_arrivals_inside_window(self, trace):
+        assert trace.arrival_times().max() < 600.0
+
+    def test_images_have_three_levels(self, trace):
+        for spec in trace.function_specs():
+            assert spec.image.os_packages
+            assert spec.image.language_packages  # runtimes may be empty
+
+    def test_determinism(self):
+        a = AzureTraceGenerator().generate(seed=3)
+        b = AzureTraceGenerator().generate(seed=3)
+        np.testing.assert_array_equal(a.arrival_times(), b.arrival_times())
+
+    def test_seeds_differ(self):
+        a = AzureTraceGenerator().generate(seed=1)
+        b = AzureTraceGenerator().generate(seed=2)
+        assert not np.array_equal(a.arrival_times(), b.arrival_times())
+
+    def test_burstiness_increases_clustering(self):
+        smooth = AzureTraceGenerator(
+            AzureTraceConfig(burstiness=0.0)
+        ).generate(seed=0)
+        bursty = AzureTraceGenerator(
+            AzureTraceConfig(burstiness=0.9)
+        ).generate(seed=0)
+        # Burstier traces have higher interarrival variance.
+        assert (np.var(bursty.interarrival_times())
+                > np.var(smooth.interarrival_times()))
+
+    def test_metadata_includes_statistics(self):
+        trace = AzureTraceGenerator().generate(seed=0)
+        assert "frac_invoked_once" in trace.metadata
+        assert "similarity" in trace.metadata

@@ -1,0 +1,142 @@
+"""Tests for the workload composition DSL."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.composer import (
+    ConstantEnvelope,
+    DiurnalEnvelope,
+    RampEnvelope,
+    StepEnvelope,
+    WorkloadComposer,
+)
+from repro.workloads.functions import function_by_id
+
+
+class TestEnvelopes:
+    def test_constant(self):
+        env = ConstantEnvelope(2.0)
+        assert env.rate(0.0) == env.rate(100.0) == 2.0
+        assert env.peak_rate == 2.0
+
+    def test_constant_validation(self):
+        with pytest.raises(ValueError):
+            ConstantEnvelope(0.0)
+
+    def test_diurnal_oscillates_around_base(self):
+        env = DiurnalEnvelope(base_rate=1.0, amplitude=0.5, period_s=100.0)
+        rates = [env.rate(t) for t in np.linspace(0, 100, 200)]
+        assert min(rates) >= 0.5 - 1e-9
+        assert max(rates) <= env.peak_rate + 1e-9
+        assert np.mean(rates) == pytest.approx(1.0, abs=0.05)
+
+    def test_diurnal_validation(self):
+        with pytest.raises(ValueError):
+            DiurnalEnvelope(base_rate=1.0, amplitude=1.5)
+
+    def test_ramp(self):
+        env = RampEnvelope(0.0, 2.0, duration_s=10.0)
+        assert env.rate(0.0) == 0.0
+        assert env.rate(5.0) == pytest.approx(1.0)
+        assert env.rate(100.0) == 2.0  # clamped past the end
+        assert env.peak_rate == 2.0
+
+    def test_ramp_validation(self):
+        with pytest.raises(ValueError):
+            RampEnvelope(0.0, 0.0, 10.0)
+
+    def test_steps(self):
+        env = StepEnvelope(((10.0, 1.0), (20.0, 3.0)))
+        assert env.rate(5.0) == 1.0
+        assert env.rate(15.0) == 3.0
+        assert env.rate(99.0) == 3.0
+        assert env.peak_rate == 3.0
+
+    def test_steps_validation(self):
+        with pytest.raises(ValueError):
+            StepEnvelope(())
+        with pytest.raises(ValueError):
+            StepEnvelope(((20.0, 1.0), (10.0, 2.0)))  # unsorted
+        with pytest.raises(ValueError):
+            StepEnvelope(((10.0, 0.0),))  # no positive rate
+
+
+class TestComposer:
+    def _composer(self):
+        return (
+            WorkloadComposer("custom")
+            .add_function(function_by_id(5), weight=3.0)
+            .add_function(function_by_id(13), weight=1.0)
+            .with_envelope(ConstantEnvelope(1.0))
+            .with_invocations(200)
+        )
+
+    def test_builds_requested_count(self):
+        wl = self._composer().build(seed=0)
+        assert len(wl) == 200
+        assert wl.name == "custom"
+
+    def test_weights_respected(self):
+        wl = self._composer().build(seed=0)
+        counts = wl.invocation_counts()
+        ratio = counts["hello-python-debian"] / counts["ml-inference"]
+        assert 2.0 < ratio < 4.5  # 3:1 weights, binomial noise
+
+    def test_deterministic(self):
+        a = self._composer().build(seed=7).arrival_times()
+        b = self._composer().build(seed=7).arrival_times()
+        np.testing.assert_array_equal(a, b)
+
+    def test_metadata(self):
+        wl = self._composer().build(seed=0)
+        assert "similarity" in wl.metadata
+
+    def test_constant_rate_matches_envelope(self):
+        wl = (WorkloadComposer("r")
+              .add_function(function_by_id(5))
+              .with_envelope(ConstantEnvelope(2.0))
+              .with_invocations(3000)
+              .build(seed=0))
+        rate = len(wl) / wl.duration_s
+        assert rate == pytest.approx(2.0, rel=0.1)
+
+    def test_diurnal_concentrates_in_high_phase(self):
+        """More arrivals land in the high half of the sinusoid."""
+        period = 100.0
+        wl = (WorkloadComposer("d")
+              .add_function(function_by_id(5))
+              .with_envelope(DiurnalEnvelope(base_rate=1.0, amplitude=0.9,
+                                             period_s=period))
+              .with_invocations(2000)
+              .build(seed=0))
+        phases = (wl.arrival_times() % period) / period
+        high = int(((phases > 0.0) & (phases < 0.5)).sum())  # sin > 0 half
+        low = len(wl) - high
+        assert high > 1.5 * low
+
+    def test_validation_chain(self):
+        with pytest.raises(ValueError):
+            WorkloadComposer("")
+        with pytest.raises(ValueError):
+            WorkloadComposer("x").build()
+        with pytest.raises(ValueError):
+            WorkloadComposer("x").add_function(function_by_id(5), weight=0.0)
+        composer = WorkloadComposer("x").add_function(function_by_id(5))
+        with pytest.raises(ValueError):
+            composer.build()  # no envelope
+        composer.with_envelope(ConstantEnvelope(1.0))
+        with pytest.raises(ValueError):
+            composer.build()  # no budget
+        with pytest.raises(ValueError):
+            composer.with_invocations(0)
+
+    def test_runs_through_simulator(self):
+        from repro.cluster.simulator import ClusterSimulator, SimulationConfig
+        from repro.schedulers.greedy import GreedyMatchScheduler
+
+        wl = self._composer().build(seed=1)
+        scheduler = GreedyMatchScheduler()
+        sim = ClusterSimulator(SimulationConfig(pool_capacity_mb=2048.0),
+                               scheduler.make_eviction_policy())
+        t = sim.run(wl, scheduler).telemetry
+        assert t.n_invocations == 200

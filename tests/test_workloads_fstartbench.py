@@ -1,0 +1,125 @@
+"""Tests for the seven FStartBench workload sets."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.fstartbench import (
+    ARRIVAL_TYPES,
+    HI_SIM_TYPES,
+    LO_SIM_TYPES,
+    WORKLOAD_BUILDERS,
+    build_workload,
+    hi_sim_workload,
+    hi_var_workload,
+    lo_sim_workload,
+    lo_var_workload,
+    overall_workload,
+    peak_workload,
+    random_workload,
+    uniform_workload,
+)
+from repro.workloads.metrics import workload_similarity, workload_size_variance
+
+
+class TestSimilarityWorkloads:
+    def test_sizes(self):
+        assert len(lo_sim_workload()) == 300
+        assert len(hi_sim_workload()) == 300
+
+    def test_similarity_ordering(self):
+        """The defining property: HI-Sim is more similar than LO-Sim."""
+        lo = workload_similarity(lo_sim_workload())
+        hi = workload_similarity(hi_sim_workload())
+        assert hi > lo
+        # Calibration near the paper's 0.29 / 0.52.
+        assert 0.05 <= lo <= 0.35
+        assert 0.30 <= hi <= 0.60
+
+    def test_type_composition(self):
+        lo = lo_sim_workload()
+        ids = {s.func_id for s in lo.function_specs()}
+        assert ids == set(LO_SIM_TYPES)
+        hi = hi_sim_workload()
+        assert {s.func_id for s in hi.function_specs()} == set(HI_SIM_TYPES)
+
+    def test_metadata_populated(self):
+        wl = lo_sim_workload()
+        assert "similarity" in wl.metadata
+        assert wl.metadata["similarity"] == pytest.approx(
+            workload_similarity(wl)
+        )
+
+
+class TestVarianceWorkloads:
+    def test_variance_ordering(self):
+        """The defining property: HI-Var has higher size variance."""
+        lo = workload_size_variance(lo_var_workload())
+        hi = workload_size_variance(hi_var_workload())
+        assert hi > lo
+
+    def test_sizes(self):
+        assert len(lo_var_workload()) == 300
+        assert len(hi_var_workload()) == 300
+
+
+class TestArrivalWorkloads:
+    def test_uniform_six_minutes(self):
+        wl = uniform_workload()
+        assert len(wl) == 300
+        assert wl.duration_s <= 360.0
+
+    def test_peak_composition(self):
+        wl = peak_workload()
+        assert len(wl) == 300
+        times = wl.arrival_times()
+        first_minute = int((times < 60).sum())
+        second_minute = int(((times >= 60) & (times < 120)).sum())
+        assert first_minute == 80 and second_minute == 20
+
+    def test_random_within_window(self):
+        wl = random_workload()
+        assert len(wl) == 300
+        assert wl.arrival_times().max() <= 360.0
+
+    def test_arrival_types(self):
+        for wl in (uniform_workload(), peak_workload(), random_workload()):
+            assert {s.func_id for s in wl.function_specs()} == set(ARRIVAL_TYPES)
+
+    def test_peak_bursty_vs_uniform(self):
+        """Peak has higher interarrival variance than Uniform."""
+        peak_var = np.var(peak_workload().interarrival_times())
+        uni_var = np.var(uniform_workload().interarrival_times())
+        assert peak_var > uni_var
+
+
+class TestOverall:
+    def test_400_invocations_13_types(self):
+        wl = overall_workload(seed=0)
+        assert len(wl) == 400
+        assert len(wl.function_specs()) == 13
+
+    def test_ids_match_arrival_order(self):
+        wl = overall_workload(seed=1)
+        assert [i.invocation_id for i in wl] == list(range(400))
+
+    def test_different_seeds_differ(self):
+        a = overall_workload(seed=0).arrival_times()
+        b = overall_workload(seed=1).arrival_times()
+        assert not np.array_equal(a, b)
+
+    def test_same_seed_reproducible(self):
+        a = overall_workload(seed=5).arrival_times()
+        b = overall_workload(seed=5).arrival_times()
+        np.testing.assert_array_equal(a, b)
+
+
+class TestBuilderRegistry:
+    def test_all_builders_produce_workloads(self):
+        for name in WORKLOAD_BUILDERS:
+            wl = build_workload(name, seed=0)
+            assert len(wl) > 0
+            assert wl.name == name
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            build_workload("NOPE")

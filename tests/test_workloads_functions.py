@@ -1,0 +1,109 @@
+"""Tests for the 13 FStartBench functions (Table II fidelity)."""
+
+import numpy as np
+import pytest
+
+from repro.containers.matching import MatchLevel, match_level
+from repro.packages.package import PackageLevel
+from repro.workloads.functions import (
+    FunctionSpec,
+    fstartbench_functions,
+    function_by_id,
+    functions_by_ids,
+)
+
+from conftest import make_image
+
+# (func_id, os base, primary language, runtime names subset)
+TABLE_II = [
+    (1, "alpine-base", "openjdk", {"springboot"}),
+    (2, "alpine-base", "nodejs", {"express"}),
+    (3, "alpine-base", "golang", {"gin"}),
+    (4, "alpine-base", "python", {"flask"}),
+    (5, "debian-base", "python", {"flask"}),
+    (6, "debian-base", "python", {"flask", "numpy"}),
+    (7, "debian-base", "python", {"flask", "numpy", "pandas"}),
+    (8, "debian-base", "python", {"flask", "numpy", "pandas", "matplotlib"}),
+    (9, "centos-base", "gcc-toolchain", {"libcos-sdk"}),
+    (10, "debian-base", "python", {"flask"}),
+    (11, "alpine-base", "nodejs", {"express"}),
+    (12, "alpine-base", "openjdk", {"springboot"}),
+    (13, "debian-base", "python", {"flask", "tensorflow"}),
+]
+
+
+class TestTableII:
+    def test_thirteen_functions(self):
+        assert len(fstartbench_functions()) == 13
+
+    @pytest.mark.parametrize("func_id,os_base,lang,runtimes", TABLE_II)
+    def test_stacks_match_table(self, func_id, os_base, lang, runtimes):
+        spec = function_by_id(func_id)
+        os_names = {p.name for p in spec.image.os_packages}
+        lang_names = {p.name for p in spec.image.language_packages}
+        rt_names = {p.name for p in spec.image.runtime_packages}
+        assert os_base in os_names
+        assert lang in lang_names
+        assert rt_names == runtimes
+
+    def test_unique_names(self):
+        names = [s.name for s in fstartbench_functions()]
+        assert len(set(names)) == 13
+
+    def test_function_5_and_10_share_configuration(self):
+        """Different functions with identical stacks: full-match reuse."""
+        f5 = function_by_id(5)
+        f10 = function_by_id(10)
+        assert match_level(f5.image, f10.image) is MatchLevel.L3
+
+    def test_analytics_functions_nest_at_l2(self):
+        """F6 vs F7: same OS+language, different runtimes."""
+        assert match_level(
+            function_by_id(6).image, function_by_id(7).image
+        ) is MatchLevel.L2
+
+    def test_cross_os_no_match(self):
+        assert match_level(
+            function_by_id(4).image, function_by_id(5).image
+        ) is MatchLevel.NO_MATCH
+
+    def test_memory_footprints_span_4x(self):
+        """The paper cites a ~4x memory range across functions."""
+        mems = [s.image.memory_mb for s in fstartbench_functions()]
+        assert max(mems) / min(mems) >= 4.0
+
+    def test_unknown_id_raises(self):
+        with pytest.raises(KeyError):
+            function_by_id(99)
+
+    def test_functions_by_ids_preserves_order(self):
+        specs = functions_by_ids([13, 1, 5])
+        assert [s.func_id for s in specs] == [13, 1, 5]
+
+    def test_cached_default_catalog_identity(self):
+        assert fstartbench_functions()[0] is fstartbench_functions()[0]
+
+
+class TestFunctionSpec:
+    def test_exec_time_sampling_mean(self):
+        spec = function_by_id(10)
+        rng = np.random.default_rng(0)
+        samples = [spec.sample_exec_time(rng) for _ in range(4000)]
+        assert np.mean(samples) == pytest.approx(spec.exec_time_mean_s,
+                                                 rel=0.05)
+
+    def test_zero_cv_is_deterministic(self):
+        spec = FunctionSpec(
+            func_id=500, name="det", image=make_image("det"),
+            function_init_s=0.1, exec_time_mean_s=1.0, exec_time_cv=0.0,
+        )
+        rng = np.random.default_rng(0)
+        assert spec.sample_exec_time(rng) == 1.0
+
+    def test_invalid_timing_rejected(self):
+        with pytest.raises(ValueError):
+            FunctionSpec(1, "x", make_image("x"), function_init_s=-1,
+                         exec_time_mean_s=1.0)
+        with pytest.raises(ValueError):
+            FunctionSpec(1, "x", make_image("x"), function_init_s=0.1,
+                         exec_time_mean_s=0.0)

@@ -1,0 +1,81 @@
+"""Tests for workload trace serialization."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.workloads.fstartbench import hi_sim_workload, overall_workload
+from repro.workloads.serialization import (
+    TraceFormatError,
+    load_workload,
+    save_workload,
+    workload_from_dict,
+    workload_to_dict,
+)
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize("builder", [hi_sim_workload, overall_workload])
+    def test_roundtrip_preserves_everything(self, builder, tmp_path):
+        original = builder(seed=3)
+        path = save_workload(original, tmp_path / "trace.json")
+        loaded = load_workload(path)
+
+        assert loaded.name == original.name
+        assert len(loaded) == len(original)
+        np.testing.assert_allclose(loaded.arrival_times(),
+                                   original.arrival_times())
+        for a, b in zip(original, loaded):
+            assert a.spec.name == b.spec.name
+            assert a.execution_time_s == pytest.approx(b.execution_time_s)
+            assert a.spec.image.packages == b.spec.image.packages
+
+    def test_metadata_preserved(self, tmp_path):
+        original = hi_sim_workload(seed=0)
+        loaded = load_workload(save_workload(original, tmp_path / "t.json"))
+        assert loaded.metadata["similarity"] == pytest.approx(
+            original.metadata["similarity"]
+        )
+
+    def test_simulation_equivalence(self, tmp_path):
+        """A replayed trace produces identical simulation results."""
+        from repro.experiments.common import evaluate_scheduler
+        from repro.schedulers.greedy import GreedyMatchScheduler
+
+        original = hi_sim_workload(seed=1, n=60)
+        loaded = load_workload(save_workload(original, tmp_path / "t.json"))
+        a = evaluate_scheduler(GreedyMatchScheduler(), original, 2048.0, "x")
+        b = evaluate_scheduler(GreedyMatchScheduler(), loaded, 2048.0, "x")
+        assert a.total_startup_s == pytest.approx(b.total_startup_s)
+        assert a.cold_starts == b.cold_starts
+
+
+class TestErrors:
+    def test_bad_version(self):
+        data = workload_to_dict(hi_sim_workload(seed=0, n=10))
+        data["format_version"] = 42
+        with pytest.raises(TraceFormatError):
+            workload_from_dict(data)
+
+    def test_unknown_package(self):
+        data = workload_to_dict(hi_sim_workload(seed=0, n=10))
+        data["functions"][0]["packages"].append("leftpad==1.0")
+        with pytest.raises(TraceFormatError):
+            workload_from_dict(data)
+
+    def test_missing_field(self):
+        data = workload_to_dict(hi_sim_workload(seed=0, n=10))
+        del data["invocations"][0]["arrival"]
+        with pytest.raises(TraceFormatError):
+            workload_from_dict(data)
+
+    def test_not_json(self, tmp_path):
+        path = tmp_path / "garbage.json"
+        path.write_text("{not json")
+        with pytest.raises(TraceFormatError):
+            load_workload(path)
+
+    def test_file_is_valid_json(self, tmp_path):
+        path = save_workload(hi_sim_workload(seed=0, n=10), tmp_path / "t.json")
+        json.loads(path.read_text())  # does not raise

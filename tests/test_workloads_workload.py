@@ -1,0 +1,95 @@
+"""Tests for Workload and Invocation."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.workloads.workload import Invocation, Workload, assemble
+
+from conftest import make_invocation, make_spec
+
+
+class TestInvocation:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_invocation(arrival_time=-1.0)
+        with pytest.raises(ValueError):
+            make_invocation(execution_time_s=0.0)
+
+
+class TestWorkload:
+    def test_sorted_enforced(self):
+        invs = [make_invocation(invocation_id=0, arrival_time=5.0),
+                make_invocation(invocation_id=1, arrival_time=1.0)]
+        with pytest.raises(ValueError):
+            Workload("w", tuple(invs))
+
+    def test_from_invocations_sorts(self):
+        invs = [make_invocation(invocation_id=0, arrival_time=5.0),
+                make_invocation(invocation_id=1, arrival_time=1.0)]
+        wl = Workload.from_invocations("w", invs)
+        assert [i.arrival_time for i in wl] == [1.0, 5.0]
+
+    def test_duration(self):
+        wl = Workload.from_invocations("w", [
+            make_invocation(invocation_id=0, arrival_time=2.0),
+            make_invocation(invocation_id=1, arrival_time=9.0),
+        ])
+        assert wl.duration_s == 9.0
+        assert Workload.from_invocations("e", []).duration_s == 0.0
+
+    def test_function_specs_dedup(self):
+        spec = make_spec(name="one")
+        wl = Workload.from_invocations("w", [
+            make_invocation(spec, 0, arrival_time=0.0),
+            make_invocation(spec, 1, arrival_time=1.0),
+        ])
+        assert len(wl.function_specs()) == 1
+
+    def test_invocation_counts(self):
+        a, b = make_spec(name="a"), make_spec(name="b")
+        wl = Workload.from_invocations("w", [
+            make_invocation(a, 0, arrival_time=0.0),
+            make_invocation(a, 1, arrival_time=1.0),
+            make_invocation(b, 2, arrival_time=2.0),
+        ])
+        assert wl.invocation_counts() == {"a": 2, "b": 1}
+
+    def test_interarrival(self):
+        wl = Workload.from_invocations("w", [
+            make_invocation(invocation_id=0, arrival_time=0.0),
+            make_invocation(invocation_id=1, arrival_time=3.0),
+            make_invocation(invocation_id=2, arrival_time=4.0),
+        ])
+        np.testing.assert_allclose(wl.interarrival_times(), [3.0, 1.0])
+        assert Workload.from_invocations("x", []).interarrival_times().size == 0
+
+
+class TestAssemble:
+    def test_merges_and_renumbers(self, rng):
+        a, b = make_spec(name="a"), make_spec(name="b")
+        wl = assemble("w", [a, b],
+                      [np.array([5.0, 1.0]), np.array([3.0])], rng)
+        assert [i.invocation_id for i in wl] == [0, 1, 2]
+        assert [i.spec.name for i in wl] == ["a", "b", "a"]
+
+    def test_mismatched_lengths_rejected(self, rng):
+        with pytest.raises(ValueError):
+            assemble("w", [make_spec()], [], rng)
+
+    def test_exec_times_sampled_positive(self, rng):
+        spec = make_spec(name="a")
+        wl = assemble("w", [spec], [np.linspace(0, 10, 20)], rng)
+        assert all(i.execution_time_s > 0 for i in wl)
+
+
+@given(st.lists(st.floats(min_value=0, max_value=1e4, allow_nan=False),
+                min_size=0, max_size=30))
+def test_workload_always_ordered(times):
+    invs = [make_invocation(invocation_id=i, arrival_time=t)
+            for i, t in enumerate(times)]
+    wl = Workload.from_invocations("w", invs)
+    arr = wl.arrival_times()
+    assert (np.diff(arr) >= 0).all() if arr.size > 1 else True
+    assert len(wl) == len(times)

@@ -29,8 +29,9 @@ def test_simulator_throughput(benchmark):
 
     result = benchmark(run)
     assert result.telemetry.n_invocations == 400
-    # The experiment suite needs thousands of these: keep one run < 2 s.
-    assert benchmark.stats["mean"] < 2.0
+    # The experiment suite needs thousands of these: keep one run < 0.5 s
+    # (the pool match index and telemetry fast path leave ~15x headroom).
+    assert benchmark.stats["mean"] < 0.5
 
 
 def test_match_level_rate(benchmark):
@@ -45,7 +46,9 @@ def test_match_level_rate(benchmark):
         return total
 
     benchmark(run)
-    assert benchmark.stats["mean"] < 0.01
+    # Interned-fingerprint matching: ~30 us for the full pairwise sweep,
+    # 10x tighter than the frozenset-comparison budget it replaced.
+    assert benchmark.stats["mean"] < 0.001
 
 
 def test_qnetwork_forward_backward(benchmark):

@@ -8,11 +8,25 @@ suite in tens of minutes on a laptop.
 MLCR training results are cached in-process (keyed by workload family, pool
 capacity and config), so benchmarks that share a trained policy -- fig8,
 fig9, fig10 -- only pay for training once per session.
+
+A regression guard compares every micro-benchmark's mean against
+``bench_baseline.json`` (written by ``tools/bench_capture.py``) and fails
+on a >30% slowdown; set ``REPRO_BENCH_GUARD=off`` to disable it (the
+capture tool does so while regenerating the baseline).
 """
+
+import json
+import os
+from pathlib import Path
 
 import pytest
 
 from repro.experiments.common import ExperimentScale
+
+BASELINE_PATH = Path(__file__).resolve().parent / "bench_baseline.json"
+
+#: Allowed slowdown over the captured baseline mean before the guard fails.
+REGRESSION_FACTOR = 1.30
 
 
 @pytest.fixture(scope="session")
@@ -34,3 +48,49 @@ def emit(capsys):
             print("\n" + text + "\n")
 
     return _emit
+
+
+@pytest.fixture(scope="session")
+def bench_baseline():
+    """Captured baseline means, ``{test_name: mean_seconds}`` (may be {})."""
+    if not BASELINE_PATH.exists():
+        return {}
+    return json.loads(BASELINE_PATH.read_text())
+
+
+@pytest.fixture(autouse=True)
+def bench_regression_guard(request, bench_baseline):
+    """Fail any benchmark whose mean regressed >30% past its baseline.
+
+    Applies only to tests that used the ``benchmark`` fixture and have an
+    entry in ``bench_baseline.json``; absolute-threshold asserts inside the
+    tests still provide a backstop for unbaselined benchmarks.
+    """
+    # Resolve the benchmark fixture up front: it is no longer retrievable
+    # once the test's own fixtures have been torn down.
+    benchmark = (
+        request.getfixturevalue("benchmark")
+        if "benchmark" in request.fixturenames
+        else None
+    )
+    yield
+    if benchmark is None:
+        return
+    if os.environ.get("REPRO_BENCH_GUARD", "").lower() in ("off", "0"):
+        return
+    baseline_mean = bench_baseline.get(request.node.name)
+    if baseline_mean is None:
+        return
+    try:
+        mean = benchmark.stats["mean"]
+    except (TypeError, KeyError, AttributeError):
+        return  # benchmark disabled/skipped: nothing was measured
+    allowed = baseline_mean * REGRESSION_FACTOR
+    if mean > allowed:
+        pytest.fail(
+            f"{request.node.name}: mean {mean * 1e3:.3f} ms regressed past "
+            f"{REGRESSION_FACTOR:.2f}x baseline "
+            f"({baseline_mean * 1e3:.3f} ms -> allowed "
+            f"{allowed * 1e3:.3f} ms); if intentional, refresh with "
+            f"`python tools/bench_capture.py`"
+        )

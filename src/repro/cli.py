@@ -23,33 +23,23 @@ from repro.analysis.report import ascii_table
 from repro.cluster.simulator import SimulationConfig
 from repro.experiments.common import (
     ExperimentScale,
-    evaluate_scheduler,
-    make_baselines,
     make_training_factory,
     pool_sizes,
 )
+from repro.experiments.parallel import (
+    BASELINE_KEYS,
+    SCHEDULER_FACTORIES,
+    GridTask,
+    run_grid,
+)
 from repro.workloads.fstartbench import WORKLOAD_BUILDERS, build_workload
 
-_SCHEDULERS = {
-    "lru": "LRUScheduler",
-    "faascache": "FaasCacheScheduler",
-    "keepalive": "KeepAliveScheduler",
-    "greedy": "GreedyMatchScheduler",
-    "coldonly": "ColdOnlyScheduler",
-    "lookahead": "LookaheadScheduler",
-    "walways": "AlwaysAdoptScheduler",
-}
+_SCHEDULERS = SCHEDULER_FACTORIES
 
 _EXPERIMENTS = (
     "fig1", "fig2", "fig3", "tab2", "fig8", "fig9", "fig10",
     "fig11a", "fig11b", "fig11c", "overhead", "ablations",
 )
-
-
-def _build_scheduler(name: str):
-    import repro.schedulers as schedulers
-
-    return getattr(schedulers, _SCHEDULERS[name])()
 
 
 # ---------------------------------------------------------------------------
@@ -84,24 +74,30 @@ def cmd_workloads(args: argparse.Namespace) -> int:
 
 
 def cmd_simulate(args: argparse.Namespace) -> int:
-    """``repro simulate``: run scheduler(s) over a workload."""
-    workload = build_workload(args.workload, seed=args.seed)
-    capacity = pool_sizes(workload)[args.pool.capitalize()]
-    if args.scheduler == "all":
-        policies = make_baselines()
-    else:
-        policies = [_build_scheduler(args.scheduler)]
+    """``repro simulate``: run scheduler(s) over a workload.
+
+    With ``--jobs N`` the scheduler runs fan out over worker processes via
+    :func:`repro.experiments.parallel.run_grid`; the printed table is
+    byte-identical to the serial run.
+    """
+    capacity = pool_sizes(build_workload(args.workload,
+                                         seed=args.seed))[args.pool.capitalize()]
+    keys = list(BASELINE_KEYS) if args.scheduler == "all" else [args.scheduler]
+    tasks = [
+        GridTask(scheduler=key, workload=args.workload, seed=args.seed,
+                 pool_label=args.pool.capitalize(), capacity_mb=capacity)
+        for key in keys
+    ]
     rows = []
-    for policy in policies:
-        res = evaluate_scheduler(policy, workload, capacity,
-                                 args.pool.capitalize())
+    for cell in run_grid(tasks, jobs=args.jobs):
+        s = cell.summary
         rows.append([
-            policy.name,
-            f"{res.total_startup_s:.1f}",
-            f"{res.mean_startup_s * 1e3:.0f}",
-            str(res.cold_starts),
-            str(res.evictions),
-            f"{res.peak_warm_memory_mb:.0f}",
+            cell.method,
+            f"{s['total_startup_s']:.1f}",
+            f"{s['mean_startup_s'] * 1e3:.0f}",
+            str(int(s["cold_starts"])),
+            str(int(s["evictions"])),
+            f"{s['peak_warm_memory_mb']:.0f}",
         ])
     print(ascii_table(
         ["policy", "total [s]", "mean [ms]", "cold", "evictions",
@@ -213,6 +209,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--pool", default="tight",
                    choices=["tight", "moderate", "loose"])
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes for the scheduler runs")
     p.set_defaults(func=cmd_simulate)
 
     p = sub.add_parser("train", help="train and save an MLCR policy")

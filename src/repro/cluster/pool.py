@@ -1,4 +1,4 @@
-"""Fixed-capacity warm container pool.
+"""Fixed-capacity warm container pool with an O(1) match index.
 
 The pool holds *idle* warm containers up to a memory capacity in MB (the
 paper's fix-sized warm resource pool).  Busy containers are tracked by the
@@ -6,18 +6,41 @@ simulator, not the pool; only keep-alive decisions consume pool capacity.
 
 The pool maintains LRU ordering (most recently used last) so eviction
 policies and matching tie-breaks can iterate in recency order.
+
+Beyond membership, each pool maintains a **match index**: three dicts
+mapping level-fingerprint prefixes (see
+``PackageSet.level_fingerprints``) to the idle containers whose image
+shares that prefix.  A function image with fingerprints ``(f1, f2, f3)``
+then finds
+
+* its exact (L3) candidates under key ``(f1, f2, f3)``,
+* its L2-or-deeper candidates under key ``(f1, f2)``, and
+* its L1-or-deeper candidates under key ``f1``,
+
+so :meth:`WarmPool.best_match` and :meth:`WarmPool.match_depth_counts` are
+dictionary lookups instead of linear scans over the pool.  The index is
+keyed by the fingerprints a container had when it was added (kept per
+container id), so removal stays correct even if a caller mutates a pooled
+container's image -- re-adding after a repack re-keys it.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Iterator, List, Optional
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.containers.container import Container
+from repro.containers.image import FunctionImage
+from repro.containers.matching import MatchLevel
 
 
 class PoolFullError(RuntimeError):
     """Raised when adding a container would exceed the pool capacity."""
+
+
+def _mru_key(container: Container) -> Tuple[float, int]:
+    """Recency sort key: greater means more recently used."""
+    return (container.last_used_at, container.container_id)
 
 
 class WarmPool:
@@ -37,6 +60,13 @@ class WarmPool:
         self._containers: "OrderedDict[int, Container]" = OrderedDict()
         self._used_mb = 0.0
         self.peak_used_mb = 0.0
+        # Match index: fingerprint prefix -> {container_id: Container}
+        # (insertion-ordered; MRU selection still resolves ties by
+        # (last_used_at, container_id) for exact LRU-scan parity).
+        self._idx_l1: Dict[int, Dict[int, Container]] = {}
+        self._idx_l2: Dict[Tuple[int, int], Dict[int, Container]] = {}
+        self._idx_l3: Dict[Tuple[int, int, int], Dict[int, Container]] = {}
+        self._index_keys: Dict[int, Tuple[int, int, int]] = {}
 
     # -- capacity -----------------------------------------------------------
     @property
@@ -46,6 +76,7 @@ class WarmPool:
 
     @property
     def free_mb(self) -> float:
+        """Remaining warm-pool capacity."""
         return self.capacity_mb - self._used_mb
 
     def fits(self, container: Container) -> bool:
@@ -95,9 +126,15 @@ class WarmPool:
                 f"({container.memory_mb:.0f}MB) exceeds free capacity "
                 f"({self.free_mb:.0f}MB)"
             )
-        self._containers[container.container_id] = container
+        cid = container.container_id
+        self._containers[cid] = container
         self._used_mb += container.memory_mb
         self.peak_used_mb = max(self.peak_used_mb, self._used_mb)
+        fps = container.image.fingerprints
+        self._idx_l1.setdefault(fps[0], {})[cid] = container
+        self._idx_l2.setdefault(fps[:2], {})[cid] = container
+        self._idx_l3.setdefault(fps, {})[cid] = container
+        self._index_keys[cid] = fps
 
     def remove(self, container_id: int) -> Container:
         """Remove and return a pooled container (claimed or evicted)."""
@@ -108,6 +145,16 @@ class WarmPool:
         # Guard against float drift accumulating below zero.
         if self._used_mb < 1e-9:
             self._used_mb = 0.0
+        fps = self._index_keys.pop(container_id)
+        for index, key in (
+            (self._idx_l1, fps[0]),
+            (self._idx_l2, fps[:2]),
+            (self._idx_l3, fps),
+        ):
+            bucket = index[key]
+            del bucket[container_id]
+            if not bucket:
+                del index[key]
         return container
 
     def touch(self, container_id: int) -> None:
@@ -120,6 +167,83 @@ class WarmPool:
         """Containers least-recently-used first (eviction candidates)."""
         return list(self._containers.values())
 
+    def oldest(self) -> Optional[Container]:
+        """The least-recently-used pooled container (None when empty)."""
+        if not self._containers:
+            return None
+        return next(iter(self._containers.values()))
+
+    # -- match index --------------------------------------------------------
+    def match_candidates(
+        self, image: FunctionImage, level: MatchLevel
+    ) -> List[Container]:
+        """Idle containers matching ``image`` at least at ``level``.
+
+        Returned in index insertion order (oldest first); ``NO_MATCH``
+        returns every pooled container.
+        """
+        f = image.fingerprints
+        if level is MatchLevel.NO_MATCH:
+            return list(self._containers.values())
+        if level is MatchLevel.L3:
+            bucket = self._idx_l3.get(f)
+        elif level is MatchLevel.L2:
+            bucket = self._idx_l2.get(f[:2])
+        else:
+            bucket = self._idx_l1.get(f[0])
+        return list(bucket.values()) if bucket else []
+
+    def match_depth_counts(self, image: FunctionImage) -> Tuple[int, int, int, int]:
+        """Idle-container counts per exact Table-I level for ``image``.
+
+        Returns ``(n_no_match, n_L1, n_L2, n_L3)`` -- the per-depth idle
+        counts the state encoder and schedulers need, straight from the
+        index (no scan).
+        """
+        f = image.fingerprints
+        n3 = len(self._idx_l3.get(f, ()))
+        n23 = len(self._idx_l2.get(f[:2], ()))
+        n123 = len(self._idx_l1.get(f[0], ()))
+        return (len(self._containers) - n123, n123 - n23, n23 - n3, n3)
+
+    def best_match(
+        self, image: FunctionImage
+    ) -> Tuple[Optional[Container], MatchLevel]:
+        """Deepest-matching idle container for ``image`` via the index.
+
+        Ties at the deepest level are broken most-recently-used first
+        (greatest ``(last_used_at, container_id)``), matching the LRU-scan
+        semantics of ``SchedulingContext.reusable_containers()[0]``.  Cost
+        is three dict lookups plus a max() over the deepest bucket only.
+        """
+        f = image.fingerprints
+        bucket = self._idx_l3.get(f)
+        if bucket:
+            return max(bucket.values(), key=_mru_key), MatchLevel.L3
+        bucket = self._idx_l2.get(f[:2])
+        if bucket:
+            return max(bucket.values(), key=_mru_key), MatchLevel.L2
+        bucket = self._idx_l1.get(f[0])
+        if bucket:
+            return max(bucket.values(), key=_mru_key), MatchLevel.L1
+        return None, MatchLevel.NO_MATCH
+
+    def expire_older_than(self, threshold: float) -> List[Container]:
+        """Pop and return LRU-head containers with ``last_used_at < threshold``.
+
+        Under a fixed TTL, insertion order (the simulator never reorders
+        without re-claiming) implies idle-time order, so only the
+        actually-expired heads are inspected -- O(expired + 1) per call
+        instead of an O(pool) scan per event.
+        """
+        expired: List[Container] = []
+        while self._containers:
+            head = next(iter(self._containers.values()))
+            if head.last_used_at >= threshold:
+                break
+            expired.append(self.remove(head.container_id))
+        return expired
+
 
 class PoolSet:
     """One warm pool per worker (the paper's per-worker reserved memory).
@@ -128,6 +252,9 @@ class PoolSet:
     enforced per shard: a container is pooled on the worker that hosts it,
     and eviction policies operate on that worker's shard only.  With
     ``n_shards=1`` this degenerates to the single global pool.
+
+    Match-index queries (:meth:`best_match`, :meth:`match_depth_counts`,
+    :meth:`exact_matches`) aggregate the per-shard indexes.
     """
 
     def __init__(self, capacity_mb: float, n_shards: int = 1) -> None:
@@ -152,18 +279,22 @@ class PoolSet:
     # -- aggregate capacity ----------------------------------------------------
     @property
     def capacity_mb(self) -> float:
+        """Total capacity across shards."""
         return sum(s.capacity_mb for s in self._shards)
 
     @property
     def used_mb(self) -> float:
+        """Memory consumed by idle containers across shards."""
         return sum(s.used_mb for s in self._shards)
 
     @property
     def free_mb(self) -> float:
+        """Remaining capacity across shards."""
         return self.capacity_mb - self.used_mb
 
     @property
     def peak_used_mb(self) -> float:
+        """Aggregate peak warm memory (sum of shard peaks)."""
         # Aggregate peak is approximated by the sum of shard peaks; exact
         # for n_shards == 1 (the default configuration).
         return sum(s.peak_used_mb for s in self._shards)
@@ -188,11 +319,58 @@ class PoolSet:
 
     def lru_order(self) -> List[Container]:
         """All idle containers, least-recently-used first (merged)."""
-        merged: List[Container] = []
-        for s in self._shards:
-            merged.extend(s.lru_order())
+        if self.n_shards == 1:
+            merged = self._shards[0].lru_order()
+        else:
+            merged = []
+            for s in self._shards:
+                merged.extend(s.lru_order())
         merged.sort(key=lambda c: (c.last_used_at, c.container_id))
         return merged
+
+    # -- match index ------------------------------------------------------------
+    def best_match(
+        self, image: FunctionImage
+    ) -> Tuple[Optional[Container], MatchLevel]:
+        """Deepest-matching idle container across all shards.
+
+        Ties at the deepest level break most-recently-used first (greatest
+        ``(last_used_at, container_id)``), matching the LRU-scan semantics.
+        """
+        if self.n_shards == 1:
+            return self._shards[0].best_match(image)
+        best_container: Optional[Container] = None
+        best_level = MatchLevel.NO_MATCH
+        for shard in self._shards:
+            container, level = shard.best_match(image)
+            if container is None:
+                continue
+            if level > best_level or (
+                level == best_level
+                and best_container is not None
+                and _mru_key(container) > _mru_key(best_container)
+            ):
+                best_container, best_level = container, level
+        return best_container, best_level
+
+    def match_depth_counts(self, image: FunctionImage) -> Tuple[int, int, int, int]:
+        """Per-level idle counts ``(n_no_match, n_L1, n_L2, n_L3)``, summed."""
+        if self.n_shards == 1:
+            return self._shards[0].match_depth_counts(image)
+        totals = [0, 0, 0, 0]
+        for shard in self._shards:
+            counts = shard.match_depth_counts(image)
+            for i in range(4):
+                totals[i] += counts[i]
+        return tuple(totals)
+
+    def exact_matches(self, image: FunctionImage) -> List[Container]:
+        """Idle containers fully (L3) matching ``image``, MRU first."""
+        matches: List[Container] = []
+        for shard in self._shards:
+            matches.extend(shard.match_candidates(image, MatchLevel.L3))
+        matches.sort(key=_mru_key, reverse=True)
+        return matches
 
     # -- mutation ---------------------------------------------------------------
     def add(self, container: Container, shard_index: int) -> None:
@@ -207,3 +385,12 @@ class PoolSet:
         if index is None:
             raise KeyError(f"container {container_id} not pooled")
         return self._shards[index].remove(container_id)
+
+    def expire_older_than(self, threshold: float) -> List[Container]:
+        """Pop all containers idle since before ``threshold``, LRU-heads only."""
+        expired: List[Container] = []
+        for shard in self._shards:
+            for container in shard.expire_older_than(threshold):
+                self._shard_of.pop(container.container_id, None)
+                expired.append(container)
+        return expired

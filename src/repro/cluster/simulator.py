@@ -242,13 +242,15 @@ class ClusterSimulator:
                           (container, invocation))
         self.eviction.on_function_start(spec.name, latency,
                                         container.memory_mb, self.now)
-        self.telemetry.record_event(
-            self.now,
-            "cold_start" if decision.is_cold else f"warm_{match.name}",
-            container.container_id,
-            spec.name,
-            f"latency={latency:.3f}s",
-        )
+        if self.telemetry.trace_enabled:
+            # Guarded so the detail string is only formatted when tracing.
+            self.telemetry.record_event(
+                self.now,
+                "cold_start" if decision.is_cold else f"warm_{match.name}",
+                container.container_id,
+                spec.name,
+                f"latency={latency:.3f}s",
+            )
         record = InvocationRecord(
             invocation_id=invocation.invocation_id,
             function_name=spec.name,
@@ -293,6 +295,7 @@ class ClusterSimulator:
             cost_model=self.config.cost_model,
             pool_capacity_mb=self.pool.capacity_mb,
             pool_used_mb=self.pool.used_mb,
+            pool=self.pool,
         )
 
     def _claim_container(
@@ -324,17 +327,19 @@ class ClusterSimulator:
                               (container, invocation))
         elif event.kind is EventKind.EXECUTION_COMPLETE:
             container.finish_execution(self.now)
-            self.telemetry.record_event(
-                self.now, "execution_complete", container.container_id,
-                container.current_function,
-            )
+            if self.telemetry.trace_enabled:
+                self.telemetry.record_event(
+                    self.now, "execution_complete", container.container_id,
+                    container.current_function,
+                )
             if self.config.faults.enabled and self._faults.should_crash():
                 self._destroy(container)
                 self.telemetry.record_crash()
-                self.telemetry.record_event(
-                    self.now, "crash", container.container_id,
-                    container.current_function,
-                )
+                if self.telemetry.trace_enabled:
+                    self.telemetry.record_event(
+                        self.now, "crash", container.container_id,
+                        container.current_function,
+                    )
             else:
                 self._keep_alive(container)
         else:  # pragma: no cover - exhaustive enum
@@ -357,10 +362,11 @@ class ClusterSimulator:
             self.pool.remove(victim.container_id)
             self._destroy(victim)
             self.telemetry.record_eviction()
-            self.telemetry.record_event(
-                self.now, "eviction", victim.container_id,
-                victim.current_function,
-            )
+            if self.telemetry.trace_enabled:
+                self.telemetry.record_event(
+                    self.now, "eviction", victim.container_id,
+                    victim.current_function,
+                )
         self.pool.add(container, shard_index)
         self.telemetry.sample_memory(self.now, self.pool.used_mb)
 
@@ -368,11 +374,11 @@ class ClusterSimulator:
         ttl = self.eviction.ttl_s
         if ttl is None:
             return
-        expired = [
-            c for c in self.pool.containers() if c.idle_duration(self.now) > ttl
-        ]
+        # LRU insertion order implies idle-time order under a fixed TTL, so
+        # expiry pops only the actually-expired heads (O(expired + shards)
+        # per event instead of an O(pool) scan).
+        expired = self.pool.expire_older_than(self.now - ttl)
         for container in expired:
-            self.pool.remove(container.container_id)
             self._destroy(container)
             self.telemetry.record_ttl_expiration()
         if expired:

@@ -99,10 +99,17 @@ class Telemetry:
         function: Optional[str] = None,
         detail: str = "",
     ) -> None:
-        """Append a structured trace event (no-op unless tracing is on)."""
-        if self.trace_enabled:
-            self.trace.append(TraceEvent(time, kind, container_id,
-                                         function, detail))
+        """Append a structured trace event (no-op unless tracing is on).
+
+        The disabled path returns before any allocation.  Hot callers
+        (e.g. the simulator's per-invocation events) additionally check
+        :attr:`trace_enabled` *before* formatting ``detail`` strings, so a
+        non-traced run never pays for event formatting at all.
+        """
+        if not self.trace_enabled:
+            return
+        self.trace.append(TraceEvent(time, kind, container_id,
+                                     function, detail))
 
     def trace_to_jsonl(self, path) -> "object":
         """Write the trace as JSON lines; returns the path."""

@@ -8,7 +8,12 @@ mount/unmount (Section III, "Container cleaner").
 
 from repro.containers.image import FunctionImage
 from repro.containers.container import Container, ContainerState
-from repro.containers.matching import MatchLevel, match_level, best_match
+from repro.containers.matching import (
+    MatchLevel,
+    best_match,
+    match_level,
+    match_level_sets,
+)
 from repro.containers.costmodel import (
     CostModelParams,
     StartupBreakdown,
@@ -24,6 +29,7 @@ __all__ = [
     "ContainerState",
     "MatchLevel",
     "match_level",
+    "match_level_sets",
     "best_match",
     "CostModelParams",
     "StartupBreakdown",

@@ -27,6 +27,10 @@ class FunctionImage:
         Resident memory footprint of a container running this image
         (includes anonymous memory beyond the package sizes).  Used for
         warm-pool capacity accounting.
+
+    The interned per-level fingerprint tuple of :attr:`packages` is cached
+    on the instance as :attr:`fingerprints` at construction; the Table-I
+    matcher and the warm-pool match index key on it.
     """
 
     name: str
@@ -40,6 +44,21 @@ class FunctionImage:
             raise ValueError("memory_mb must be >= 0")
         if not self.packages.os_packages:
             raise ValueError(f"image {self.name!r} has no OS-level package")
+        # Cached as a plain attribute (not a property) so the matcher's hot
+        # path pays a single dict lookup per image.
+        object.__setattr__(self, "fingerprints", self.packages.level_fingerprints)
+
+    def __getstate__(self):
+        """Pickle without the cached fingerprints (process-local ids)."""
+        state = dict(self.__dict__)
+        state.pop("fingerprints", None)
+        return state
+
+    def __setstate__(self, state) -> None:
+        """Restore fields and re-derive fingerprints in this process."""
+        for key, value in state.items():
+            object.__setattr__(self, key, value)
+        object.__setattr__(self, "fingerprints", self.packages.level_fingerprints)
 
     @classmethod
     def from_packages(

@@ -13,11 +13,21 @@ Expression                                   Match level
 ``L1, L2 equal, F.L3 != C.L3``               ``L2``
 all three equal                              ``L3`` (full match)
 ===========================================  =======================
+
+The hot-path implementation (:func:`match_level`) compares the images'
+interned per-level *fingerprints* (``FunctionImage.fingerprints``) -- three
+integer comparisons instead of three frozenset comparisons.  Interning makes
+this exact, not probabilistic: equal fingerprints are assigned iff the level
+sets are equal.  The original frozenset implementation is kept as
+:func:`match_level_sets` and can be cross-checked against the fingerprint
+path on every call by setting ``REPRO_MATCH_CROSS_CHECK=1`` in the
+environment (or flipping :data:`CROSS_CHECK` at runtime).
 """
 
 from __future__ import annotations
 
 import enum
+import os
 from typing import Iterable, Optional, Tuple
 
 from repro.containers.image import FunctionImage
@@ -42,8 +52,22 @@ class MatchLevel(enum.IntEnum):
         return self is not MatchLevel.NO_MATCH
 
 
-def match_level(function_image: FunctionImage, container_image: FunctionImage) -> MatchLevel:
-    """Compute the Table-I match level with level-by-level pruning."""
+#: True when ``REPRO_MATCH_CROSS_CHECK=1`` was set at import: every
+#: :func:`match_level` call then re-derives the level via the frozenset
+#: reference path and asserts agreement (debugging aid; read-only after
+#: import -- the binding of ``match_level`` is chosen once).
+CROSS_CHECK: bool = os.environ.get("REPRO_MATCH_CROSS_CHECK", "") not in ("", "0")
+
+
+def match_level_sets(
+    function_image: FunctionImage, container_image: FunctionImage
+) -> MatchLevel:
+    """Reference Table-I matcher: level-by-level frozenset comparison.
+
+    Semantically identical to :func:`match_level`; kept as the
+    cross-checked fallback the fingerprint fast path is validated against
+    (property tests and :data:`CROSS_CHECK`).
+    """
     if function_image.level_set(PackageLevel.OS) != container_image.level_set(
         PackageLevel.OS
     ):
@@ -57,6 +81,61 @@ def match_level(function_image: FunctionImage, container_image: FunctionImage) -
     ):
         return MatchLevel.L2
     return MatchLevel.L3
+
+
+def match_level(
+    function_image: FunctionImage,
+    container_image: FunctionImage,
+    _NO=MatchLevel.NO_MATCH,
+    _L1=MatchLevel.L1,
+    _L2=MatchLevel.L2,
+    _L3=MatchLevel.L3,
+) -> MatchLevel:
+    """Compute the Table-I match level with level-by-level pruning.
+
+    Compares the images' interned per-level fingerprints -- at most one
+    pointer-identity check (full match: equal configurations share the
+    same interned tuple object) and two integer comparisons, exact by
+    construction of the intern table.  (The trailing defaults pre-bind the
+    enum members; they are implementation detail, not part of the call
+    signature.)
+    """
+    fa = function_image.fingerprints
+    fb = container_image.fingerprints
+    if fa is fb:
+        return _L3
+    if fa[0] != fb[0]:
+        return _NO
+    if fa[1] != fb[1]:
+        return _L1
+    # Tuples are interned, so distinct objects with equal L1 and L2
+    # fingerprints necessarily differ at L3.
+    return _L2
+
+
+_match_level_fast = match_level
+
+
+def match_level_checked(
+    function_image: FunctionImage, container_image: FunctionImage
+) -> MatchLevel:
+    """Fingerprint matcher cross-checked against the frozenset fallback.
+
+    Bound as ``match_level`` when ``REPRO_MATCH_CROSS_CHECK=1``; raises
+    ``AssertionError`` on any disagreement between the two paths.
+    """
+    level = _match_level_fast(function_image, container_image)
+    reference = match_level_sets(function_image, container_image)
+    assert level is reference, (
+        f"fingerprint matcher disagrees with frozenset matcher: "
+        f"{level!r} != {reference!r} for "
+        f"{function_image.name!r} vs {container_image.name!r}"
+    )
+    return level
+
+
+if CROSS_CHECK:  # pragma: no cover - exercised via the env toggle
+    match_level = match_level_checked
 
 
 def best_match(

@@ -20,17 +20,24 @@ candidates are always visible even when the pool holds more than
 ``n_slots`` idle containers.  The **action mask** marks reusable slots plus
 the always-valid cold action (paper Section IV-C: "no match" containers are
 filtered out rather than explored).
+
+Encoding is incremental: bag-of-packages vectors and cost-model latencies
+are cached per image configuration, per-depth idle counts come from the
+warm pool's match index (``ctx.match_counts``), the redundancy feature uses
+precomputed suffix sums, and candidate ranking is a partial selection of
+the top ``n_slots`` instead of a full sort.
 """
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.containers.container import Container
-from repro.containers.matching import MatchLevel
+from repro.containers.matching import MatchLevel, match_level
 from repro.packages.catalog import PackageCatalog, default_catalog
 from repro.packages.package import PackageLevel
 from repro.schedulers.base import Decision, SchedulingContext
@@ -101,6 +108,13 @@ class StateEncoder:
         self._last_arrival: Optional[float] = None
         self._image_demand: Dict[object, float] = {}
         self._demand_total = 0.0
+        # Image-keyed caches.  Both survive reset(): they depend only on
+        # the (immutable) image configurations and the cost model, not on
+        # episode state; the latency cache is invalidated when a context
+        # carries a different cost-model instance.
+        self._bag_cache: Dict[object, np.ndarray] = {}
+        self._latency_cache: Dict[Tuple, float] = {}
+        self._latency_model: Optional[object] = None
 
     # -- dimensions --------------------------------------------------------
     @property
@@ -151,20 +165,27 @@ class StateEncoder:
 
         self._observe_arrival(ctx.invocation.spec.image.packages)
         ranked = self._ranked_candidates(ctx)
-        depth_counts = np.zeros(4)
-        for _, match in ranked:
-            depth_counts[int(match)] += 1
+        # Per-depth idle counts come from the pool match index when the
+        # context carries one (ctx.match_counts) instead of re-scoring
+        # every idle container.
+        counts = ctx.match_counts()
+        depth_counts = np.array(
+            [float(counts[lvl]) for lvl in MatchLevel], dtype=np.float64
+        )
+        # Suffix sums: redundancy_suffix[m] = idle containers matching at
+        # least as deep as level m (precomputed once per decision point).
+        redundancy_suffix = np.cumsum(depth_counts[::-1])[::-1]
         global_part = self._global_features(ctx, interval, depth_counts)
         slot_parts = np.zeros((self.n_slots, self.slot_dim))
         mask = np.zeros(self.action_dim, dtype=bool)
         mask[-1] = True  # cold start is always allowed
         slot_ids: List[Optional[int]] = [None] * self.n_slots
         slot_matches: List[MatchLevel] = [MatchLevel.NO_MATCH] * self.n_slots
-        cold_latency = ctx.estimated_latency(None)
-        for slot, (container, match) in enumerate(ranked[: self.n_slots]):
+        cold_latency = self._cached_latency(ctx, MatchLevel.NO_MATCH)
+        for slot, (container, match) in enumerate(ranked):
             # Idle containers matching at least as deep as this one, besides
             # itself: >0 means taking this container costs nothing.
-            redundancy = float(depth_counts[int(match):].sum() - 1)
+            redundancy = float(redundancy_suffix[int(match)] - 1)
             slot_parts[slot] = self._slot_features(
                 ctx, container, match, cold_latency, redundancy
             )
@@ -188,12 +209,37 @@ class StateEncoder:
 
     # -- internals -----------------------------------------------------------
     def _bag_of_packages(self, ctx: SchedulingContext) -> np.ndarray:
-        bag = np.zeros(self._n_keys)
-        for pkg in ctx.invocation.spec.image.packages:
-            idx = self._key_index.get(pkg.key)
-            if idx is not None:
-                bag[idx] = 1.0
+        packages = ctx.invocation.spec.image.packages
+        bag = self._bag_cache.get(packages)
+        if bag is None:
+            bag = np.zeros(self._n_keys)
+            for pkg in packages:
+                idx = self._key_index.get(pkg.key)
+                if idx is not None:
+                    bag[idx] = 1.0
+            self._bag_cache[packages] = bag
+        # Callers only read the vector (np.concatenate copies), so the
+        # cached array can be shared.
         return bag
+
+    def _cached_latency(
+        self,
+        ctx: SchedulingContext,
+        match: MatchLevel,
+        function_init_s: Optional[float] = None,
+    ) -> float:
+        """Cost-model latency cached per ``(image, match, function_init_s)``."""
+        if ctx.cost_model is not self._latency_model:
+            self._latency_model = ctx.cost_model
+            self._latency_cache.clear()
+        spec = ctx.invocation.spec
+        init_s = spec.function_init_s if function_init_s is None else function_init_s
+        key = (spec.image.fingerprints, int(match), init_s)
+        latency = self._latency_cache.get(key)
+        if latency is None:
+            latency = ctx.cost_model.latency_s(spec.image, match, init_s)
+            self._latency_cache[key] = latency
+        return latency
 
     def _global_features(
         self, ctx: SchedulingContext, interval: float, depth_counts: np.ndarray
@@ -213,7 +259,7 @@ class StateEncoder:
                 np.log1p(interval),
                 free_frac,
                 len(ctx.idle_containers) / self.n_slots,
-                ctx.estimated_latency(None) * _LATENCY_SCALE,
+                self._cached_latency(ctx, MatchLevel.NO_MATCH) * _LATENCY_SCALE,
                 self._demand_of(spec.image.packages),
             ]
         )
@@ -224,14 +270,27 @@ class StateEncoder:
     def _ranked_candidates(
         self, ctx: SchedulingContext
     ) -> List[Tuple[Container, MatchLevel]]:
-        """Idle containers ranked deepest-match first, then most recent."""
-        scored = []
+        """Top ``n_slots`` idle containers, deepest-match first, then most
+        recent.
+
+        Partial selection (``heapq.nsmallest``) instead of a full sort:
+        only the ``n_slots`` visible candidates are ordered, O(n log k)
+        over the pool instead of O(n log n).
+        """
+        image = ctx.invocation.spec.image
         # idle_containers is LRU-first; enumerate() index preserves recency.
-        for recency, container in enumerate(ctx.idle_containers):
-            match = ctx.match_of(container)
-            scored.append((-int(match), -recency, container, match))
-        scored.sort(key=lambda item: (item[0], item[1]))
-        return [(container, match) for _, _, container, match in scored]
+        # The 4-tuples order by (depth, recency) alone -- the recency index
+        # is unique, so the trailing elements are never compared.
+        scored = [
+            (-int(match_level(image, container.image)), -recency,
+             container.container_id, container)
+            for recency, container in enumerate(ctx.idle_containers)
+        ]
+        top = heapq.nsmallest(self.n_slots, scored)
+        return [
+            (container, MatchLevel(-neg_match))
+            for neg_match, _, _, container in top
+        ]
 
     def _slot_features(
         self,
@@ -244,10 +303,7 @@ class StateEncoder:
         one_hot = np.zeros(4)
         one_hot[int(match)] = 1.0
         if match.is_reusable:
-            reuse_latency = ctx.cost_model.latency_s(
-                ctx.invocation.spec.image, match,
-                ctx.invocation.spec.function_init_s,
-            )
+            reuse_latency = self._cached_latency(ctx, match)
             saving = cold_latency - reuse_latency
         else:
             reuse_latency = 0.0

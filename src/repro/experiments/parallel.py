@@ -1,0 +1,239 @@
+"""Parallel experiment runner: fan a scheduler/workload grid over workers.
+
+The experiment suite replays thousands of simulations that are completely
+independent of each other: one per ``(scheduler, workload, pool size,
+seed)`` cell.  This module materializes that grid as picklable
+:class:`GridTask` descriptions and fans them across ``multiprocessing``
+workers.
+
+Determinism is by construction:
+
+* a task carries *names and seeds*, never live objects -- each worker
+  rebuilds the workload (``build_workload(name, seed)``) and a fresh
+  scheduler, so results are a pure function of the task;
+* results return in task order (``Pool.map`` preserves it), so the merged
+  telemetry and the rendered report are byte-identical for any ``jobs``
+  value, including ``jobs=1`` (which short-circuits to an in-process loop).
+
+Wired into ``python -m repro.experiments.runall --jobs N`` and
+``python -m repro simulate --jobs N``.  MLCR is absent from
+:data:`SCHEDULER_FACTORIES` on purpose: trained policies are not cheap to
+rebuild per task (see ``repro.experiments.common.train_mlcr_for`` and its
+in-process cache).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.report import ascii_table
+from repro.experiments.common import (
+    ExperimentScale,
+    evaluate_scheduler,
+    pool_sizes,
+)
+from repro.workloads.fstartbench import build_workload
+
+#: Scheduler registry: CLI name -> class name in :mod:`repro.schedulers`.
+#: Every entry builds with no constructor arguments, which is what makes
+#: grid tasks picklable and worker-rebuildable.
+SCHEDULER_FACTORIES: Dict[str, str] = {
+    "lru": "LRUScheduler",
+    "faascache": "FaasCacheScheduler",
+    "keepalive": "KeepAliveScheduler",
+    "greedy": "GreedyMatchScheduler",
+    "coldonly": "ColdOnlyScheduler",
+    "lookahead": "LookaheadScheduler",
+    "walways": "AlwaysAdoptScheduler",
+}
+
+#: The paper's four baselines, in ``make_baselines()`` order.
+BASELINE_KEYS: Tuple[str, ...] = ("lru", "faascache", "keepalive", "greedy")
+
+
+def build_scheduler(key: str):
+    """Instantiate a scheduler from its registry ``key``."""
+    import repro.schedulers as schedulers
+
+    try:
+        class_name = SCHEDULER_FACTORIES[key]
+    except KeyError:
+        raise KeyError(
+            f"unknown scheduler {key!r}; choose from {sorted(SCHEDULER_FACTORIES)}"
+        ) from None
+    return getattr(schedulers, class_name)()
+
+
+@dataclass(frozen=True)
+class GridTask:
+    """One cell of the experiment grid (picklable, name-and-seed only)."""
+
+    scheduler: str      # key into SCHEDULER_FACTORIES
+    workload: str       # key into WORKLOAD_BUILDERS
+    seed: int
+    pool_label: str     # "Tight" / "Moderate" / "Loose" (cosmetic)
+    capacity_mb: float
+
+
+@dataclass(frozen=True)
+class GridCell:
+    """The merged-telemetry outcome of one grid task."""
+
+    task: GridTask
+    method: str                  # scheduler display name
+    summary: Dict[str, float]    # Telemetry.summary() of the run
+
+    @property
+    def total_startup_s(self) -> float:
+        """Total startup latency of the run."""
+        return self.summary["total_startup_s"]
+
+    @property
+    def cold_starts(self) -> float:
+        """Cold-start count of the run."""
+        return self.summary["cold_starts"]
+
+
+def run_task(task: GridTask) -> GridCell:
+    """Execute one grid cell (the worker entry point).
+
+    Rebuilds workload and scheduler from the task's names and seed, so the
+    result is deterministic regardless of which process runs it.
+    """
+    scheduler = build_scheduler(task.scheduler)
+    workload = build_workload(task.workload, seed=task.seed)
+    result = evaluate_scheduler(
+        scheduler, workload, task.capacity_mb, task.pool_label
+    )
+    return GridCell(
+        task=task,
+        method=result.method,
+        summary=result.result.telemetry.summary(),
+    )
+
+
+def _pool_context():
+    """Pick a multiprocessing start method (fork where available)."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return multiprocessing.get_context("spawn")
+
+
+def run_grid(tasks: Sequence[GridTask], jobs: int = 1) -> List[GridCell]:
+    """Run every task, fanning across ``jobs`` worker processes.
+
+    ``jobs <= 1`` runs in-process.  Results always come back in task
+    order, so downstream merging is independent of scheduling jitter.
+    """
+    tasks = list(tasks)
+    if jobs <= 1 or len(tasks) <= 1:
+        return [run_task(task) for task in tasks]
+    ctx = _pool_context()
+    with ctx.Pool(processes=min(jobs, len(tasks))) as pool:
+        return pool.map(run_task, tasks)
+
+
+@dataclass(frozen=True)
+class GridResult:
+    """All cells of a grid run, plus deterministic aggregation/rendering."""
+
+    cells: List[GridCell]
+
+    def merged(self) -> List[Tuple[Tuple[str, str, str], Dict[str, float]]]:
+        """Mean metrics per ``(workload, pool_label, method)`` group.
+
+        Groups appear in first-encounter (task) order; within a group the
+        mean is over seeds.  Pure-python arithmetic on an ordered list, so
+        the output is identical however the cells were computed.
+        """
+        groups: Dict[Tuple[str, str, str], List[GridCell]] = {}
+        for cell in self.cells:
+            key = (cell.task.workload, cell.task.pool_label, cell.method)
+            groups.setdefault(key, []).append(cell)
+        merged: List[Tuple[Tuple[str, str, str], Dict[str, float]]] = []
+        for key, cells in groups.items():
+            n = float(len(cells))
+            metrics = {
+                name: sum(c.summary[name] for c in cells) / n
+                for name in cells[0].summary
+            }
+            metrics["n_seeds"] = n
+            merged.append((key, metrics))
+        return merged
+
+    def report(self) -> str:
+        """Render the merged grid as a deterministic ASCII table.
+
+        Contains no timestamps or wall-clock values: two runs over the
+        same grid produce byte-identical text whatever ``jobs`` was.
+        """
+        rows = []
+        for (workload, pool_label, method), metrics in self.merged():
+            rows.append([
+                workload,
+                pool_label,
+                method,
+                f"{metrics['total_startup_s']:.1f}",
+                f"{metrics['mean_startup_s'] * 1e3:.0f}",
+                f"{metrics['cold_starts']:.1f}",
+                f"{metrics['evictions']:.1f}",
+                f"{metrics['peak_warm_memory_mb']:.0f}",
+                f"{int(metrics['n_seeds'])}",
+            ])
+        return ascii_table(
+            ["workload", "pool", "method", "total [s]", "mean [ms]",
+             "cold", "evictions", "peak MB", "seeds"],
+            rows,
+            title="Parallel baseline grid (means over seeds)",
+        )
+
+
+def default_grid(
+    scale: Optional[ExperimentScale] = None,
+    workloads: Sequence[str] = ("Overall",),
+    schedulers: Sequence[str] = BASELINE_KEYS,
+    pool_labels: Optional[Sequence[str]] = None,
+    seeds: Optional[Sequence[int]] = None,
+) -> List[GridTask]:
+    """The standard ``(scheduler x workload x pool size x seed)`` grid.
+
+    Capacities are derived per workload from the paper's Tight / Moderate /
+    Loose sizing (seed-0 reference run, exactly as the figure experiments
+    do).  ``seeds`` defaults to ``range(scale.repeats)``.
+    """
+    scale = scale or ExperimentScale.from_env()
+    seeds = list(seeds) if seeds is not None else list(range(scale.repeats))
+    tasks: List[GridTask] = []
+    for workload in workloads:
+        capacities = pool_sizes(build_workload(workload, seed=0))
+        labels = list(pool_labels) if pool_labels is not None else list(capacities)
+        for pool_label in labels:
+            capacity = capacities[pool_label]
+            for seed in seeds:
+                for scheduler in schedulers:
+                    tasks.append(GridTask(
+                        scheduler=scheduler,
+                        workload=workload,
+                        seed=seed,
+                        pool_label=pool_label,
+                        capacity_mb=capacity,
+                    ))
+    return tasks
+
+
+def run_default_grid(
+    scale: Optional[ExperimentScale] = None,
+    jobs: int = 1,
+    **grid_kwargs,
+) -> GridResult:
+    """Build :func:`default_grid` and run it with ``jobs`` workers."""
+    tasks = default_grid(scale, **grid_kwargs)
+    return GridResult(cells=run_grid(tasks, jobs=jobs))
+
+
+def report(result: GridResult) -> str:
+    """Module-level report hook matching the other experiment modules."""
+    return result.report()

@@ -2,12 +2,13 @@
 
 Used to regenerate the data section of EXPERIMENTS.md::
 
-    python -m repro.experiments.runall [output.md] [--figures DIR]
+    python -m repro.experiments.runall [output.md] [--figures DIR] [--jobs N]
 
 Honors ``REPRO_SCALE``.  The MLCR training cache is shared across
 experiments, so fig8/fig9/fig10 train each pool size once.  With
 ``--figures`` the fig8/9/10/11 results are additionally rendered as SVG
-files into the given directory.
+files into the given directory.  ``--jobs N`` fans the baseline grid
+section over N worker processes (its report text is identical for any N).
 """
 
 from __future__ import annotations
@@ -27,13 +28,14 @@ from repro.experiments import (
     fig10_memory,
     fig11_benchmarks,
     overhead,
+    parallel,
     tab2_functions,
 )
 from repro.experiments.common import ExperimentScale
 
 
 def _experiments(
-    scale: ExperimentScale, collected: dict
+    scale: ExperimentScale, collected: dict, jobs: int = 1
 ) -> List[Tuple[str, str, Callable[[], str]]]:
     def keep(key: str, result):
         collected[key] = result
@@ -72,6 +74,8 @@ def _experiments(
          lambda: overhead.report(overhead.run(scale))),
         ("ablations", "Ablations",
          lambda: ablations.report(ablations.run(scale))),
+        ("grid", "Baseline grid (parallel runner)",
+         lambda: parallel.run_default_grid(scale, jobs=jobs).report()),
     ]
 
 
@@ -79,8 +83,13 @@ def run_all(
     output: Path | None = None,
     scale: ExperimentScale | None = None,
     figures_dir: Path | None = None,
+    jobs: int = 1,
 ) -> str:
-    """Run every experiment; returns (and optionally writes) the report."""
+    """Run every experiment; returns (and optionally writes) the report.
+
+    ``jobs`` only parallelizes the grid section; its report text does not
+    depend on the worker count.
+    """
     scale = scale or ExperimentScale.from_env()
     collected: dict = {}
     sections: List[str] = [
@@ -88,7 +97,7 @@ def run_all(
         f"scale: repeats={scale.repeats}, "
         f"train_episodes={scale.train_episodes}, restarts={scale.restarts}",
     ]
-    for _key, title, runner in _experiments(scale, collected):
+    for _key, title, runner in _experiments(scale, collected, jobs):
         start = time.time()
         print(f"running: {title} ...", flush=True)
         try:
@@ -114,9 +123,10 @@ def run_all(
     return text
 
 
-def _parse_args(argv: List[str]) -> Tuple[Path | None, Path | None]:
+def _parse_args(argv: List[str]) -> Tuple[Path | None, Path | None, int]:
     output: Path | None = None
     figures: Path | None = None
+    jobs = 1
     rest = list(argv)
     while rest:
         arg = rest.pop(0)
@@ -124,11 +134,15 @@ def _parse_args(argv: List[str]) -> Tuple[Path | None, Path | None]:
             if not rest:
                 raise SystemExit("--figures needs a directory")
             figures = Path(rest.pop(0))
+        elif arg == "--jobs":
+            if not rest:
+                raise SystemExit("--jobs needs a worker count")
+            jobs = int(rest.pop(0))
         else:
             output = Path(arg)
-    return output, figures
+    return output, figures, jobs
 
 
 if __name__ == "__main__":  # pragma: no cover - CLI convenience
-    out, figs = _parse_args(sys.argv[1:])
-    run_all(out, figures_dir=figs)
+    out, figs, n_jobs = _parse_args(sys.argv[1:])
+    run_all(out, figures_dir=figs, jobs=n_jobs)

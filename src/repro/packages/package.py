@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import FrozenSet, Iterable, Iterator
+from typing import Dict, FrozenSet, Iterable, Iterator, Tuple
 
 
 class PackageLevel(enum.IntEnum):
@@ -74,6 +74,26 @@ class Package:
         return f"{self.key} [{self.level.label}, {self.size_mb:.0f}MB]"
 
 
+#: Process-wide intern table mapping a level's frozen package set to a small
+#: integer *fingerprint*.  Two level sets are equal **iff** they intern to the
+#: same integer, so Table-I whole-level equality becomes an int comparison
+#: (no hash-collision caveat: interning is keyed on set equality itself).
+_LEVEL_INTERN: Dict[FrozenSet[Package], int] = {}
+
+#: Intern table for whole fingerprint tuples: equal-configuration package
+#: sets share the *same tuple object*, so a full (L3) Table-I match is a
+#: pointer-identity check.
+_TUPLE_INTERN: Dict[Tuple[int, int, int], Tuple[int, int, int]] = {}
+
+
+def _intern_level(level_set: FrozenSet[Package]) -> int:
+    """Intern ``level_set`` and return its process-wide fingerprint."""
+    # dict.setdefault is atomic under the GIL; concurrent first-interns of
+    # the same set both receive the winning id (gaps in the id space are
+    # harmless -- only equality of fingerprints matters).
+    return _LEVEL_INTERN.setdefault(level_set, len(_LEVEL_INTERN))
+
+
 class PackageSet:
     """An immutable set of packages partitioned by level.
 
@@ -81,9 +101,14 @@ class PackageSet:
     lists, one per level.  Equality of a level between a function and a
     container is *whole-level* equality (Table I), which this class exposes
     via :meth:`level_set`.
+
+    Each level set is interned at construction into a process-wide table,
+    yielding the :attr:`level_fingerprints` tuple ``(fp(L1), fp(L2),
+    fp(L3))``; the Table-I matcher compares those integers instead of the
+    frozensets themselves.
     """
 
-    __slots__ = ("_by_level", "_all", "_hash")
+    __slots__ = ("_by_level", "_all", "_hash", "_fingerprints")
 
     def __init__(self, packages: Iterable[Package] = ()) -> None:
         by_level: dict[PackageLevel, set[Package]] = {
@@ -98,6 +123,12 @@ class PackageSet:
         }
         self._all: FrozenSet[Package] = frozenset().union(*self._by_level.values())
         self._hash = hash(self._all)
+        fingerprints = tuple(
+            _intern_level(self._by_level[lvl]) for lvl in PackageLevel
+        )
+        self._fingerprints: Tuple[int, int, int] = _TUPLE_INTERN.setdefault(
+            fingerprints, fingerprints
+        )
 
     # -- set protocol -----------------------------------------------------
     def __iter__(self) -> Iterator[Package]:
@@ -123,6 +154,29 @@ class PackageSet:
             for lvl in PackageLevel
         )
         return f"PackageSet({parts})"
+
+    def __reduce__(self):
+        """Pickle as the package list so fingerprints re-intern on load.
+
+        Fingerprints are only meaningful within one process's intern table;
+        reconstructing from packages keeps unpickled sets (e.g. in
+        ``multiprocessing`` workers) consistent with locally built ones.
+        """
+        return (PackageSet, (list(self._all),))
+
+    # -- fingerprints -------------------------------------------------------
+    @property
+    def level_fingerprints(self) -> Tuple[int, int, int]:
+        """Interned per-level fingerprints ``(fp(L1), fp(L2), fp(L3))``.
+
+        Within one process, ``a.level_fingerprints[i] ==
+        b.level_fingerprints[i]`` holds exactly when the two sets' level
+        ``i+1`` package sets are equal -- the O(1) form of Table-I
+        whole-level equality.  The tuple itself is interned too: equal
+        configurations return the *same object*, so ``a.level_fingerprints
+        is b.level_fingerprints`` tests full (L3) equality.
+        """
+        return self._fingerprints
 
     # -- level access ------------------------------------------------------
     def level_set(self, level: PackageLevel) -> FrozenSet[Package]:

@@ -10,12 +10,15 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from repro.containers.container import Container
 from repro.containers.costmodel import StartupCostModel
 from repro.containers.matching import MatchLevel, match_level
 from repro.workloads.workload import Invocation
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (cluster -> base)
+    from repro.cluster.pool import PoolSet
 
 
 @dataclass(frozen=True)
@@ -64,6 +67,12 @@ class SchedulingContext:
         The cluster's startup cost model (for latency estimation).
     pool_capacity_mb, pool_used_mb:
         Warm-pool capacity state.
+    pool:
+        The live warm pool (when provided by the simulator); its match
+        index turns :meth:`best_candidate`, :meth:`match_counts` and
+        :meth:`exact_matches` into dictionary lookups.  ``None`` in
+        hand-built contexts -- every helper falls back to scanning
+        ``idle_containers``.
     """
 
     now: float
@@ -72,6 +81,7 @@ class SchedulingContext:
     cost_model: StartupCostModel
     pool_capacity_mb: float
     pool_used_mb: float
+    pool: Optional["PoolSet"] = None
 
     # -- helpers every scheduler needs -------------------------------------
     def match_of(self, container: Container) -> MatchLevel:
@@ -101,12 +111,35 @@ class SchedulingContext:
         reusable.sort(key=lambda cm: -int(cm[1]))
         return reusable
 
+    def best_candidate(self) -> Tuple[Optional[Container], MatchLevel]:
+        """Deepest-matching idle container, MRU tie-break.
+
+        Uses the warm pool's match index (dict lookups) when :attr:`pool`
+        is set; otherwise scans ``idle_containers``.  Returns
+        ``(None, NO_MATCH)`` when nothing is reusable.
+        """
+        if self.pool is not None:
+            return self.pool.best_match(self.invocation.spec.image)
+        reusable = self.reusable_containers()
+        if reusable:
+            return reusable[0]
+        return None, MatchLevel.NO_MATCH
+
     def exact_matches(self) -> List[Container]:
         """Idle containers whose configuration fully matches (L3)."""
+        if self.pool is not None:
+            return self.pool.exact_matches(self.invocation.spec.image)
         return [c for c, m in self.reusable_containers() if m is MatchLevel.L3]
 
     def match_counts(self) -> Dict[MatchLevel, int]:
-        """Idle-container counts per Table-I match level."""
+        """Idle-container counts per Table-I match level.
+
+        Served from the pool match index when available (per-depth counts
+        without recomputation); scan fallback otherwise.
+        """
+        if self.pool is not None:
+            depth = self.pool.match_depth_counts(self.invocation.spec.image)
+            return {lvl: depth[int(lvl)] for lvl in MatchLevel}
         counts: Dict[MatchLevel, int] = {lvl: 0 for lvl in MatchLevel}
         for c in self.idle_containers:
             counts[self.match_of(c)] += 1

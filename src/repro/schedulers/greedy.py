@@ -23,9 +23,12 @@ class GreedyMatchScheduler(Scheduler):
         return LRUEviction()
 
     def decide(self, ctx: SchedulingContext) -> Decision:
-        """Choose a warm container (or cold start) for ``ctx.invocation``."""
-        reusable = ctx.reusable_containers()
-        if reusable:
-            container, _level = reusable[0]
+        """Choose a warm container (or cold start) for ``ctx.invocation``.
+
+        Resolved through the pool match index (O(1) dict lookups) when the
+        context carries one; identical tie-breaking to the scan path.
+        """
+        container, level = ctx.best_candidate()
+        if level.is_reusable:
             return Decision.warm(container.container_id)
         return Decision.cold()

@@ -55,16 +55,25 @@ class TestApiDocGenerator:
 
 class TestRunallArgs:
     def test_no_args(self):
-        assert _parse_args([]) == (None, None)
+        assert _parse_args([]) == (None, None, 1)
 
     def test_output_only(self):
-        out, figs = _parse_args(["report.md"])
-        assert out == Path("report.md") and figs is None
+        out, figs, jobs = _parse_args(["report.md"])
+        assert out == Path("report.md") and figs is None and jobs == 1
 
     def test_figures_flag(self):
-        out, figs = _parse_args(["report.md", "--figures", "figs"])
+        out, figs, jobs = _parse_args(["report.md", "--figures", "figs"])
         assert out == Path("report.md") and figs == Path("figs")
+        assert jobs == 1
+
+    def test_jobs_flag(self):
+        out, figs, jobs = _parse_args(["--jobs", "4", "report.md"])
+        assert out == Path("report.md") and figs is None and jobs == 4
 
     def test_figures_missing_value(self):
         with pytest.raises(SystemExit):
             _parse_args(["--figures"])
+
+    def test_jobs_missing_value(self):
+        with pytest.raises(SystemExit):
+            _parse_args(["--jobs"])

@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Capture micro-benchmark means into ``benchmarks/bench_baseline.json``.
+
+Runs the micro-benchmark files under pytest-benchmark, extracts each test's
+mean runtime, and writes them as a ``{test_name: mean_seconds}`` baseline.
+The autouse guard in ``benchmarks/conftest.py`` fails any benchmark whose
+mean regresses more than 30% past its baseline entry.
+
+Usage::
+
+    python tools/bench_capture.py                 # refresh the baseline
+    python tools/bench_capture.py --output o.json # write elsewhere
+    python tools/bench_capture.py benchmarks/bench_state_encoder.py
+
+Re-run after intentional performance changes and commit the updated
+baseline alongside them.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Benchmarks fast enough to re-run on every capture (the figure-level
+#: benchmarks train DRL policies and are deliberately excluded).
+DEFAULT_BENCHMARKS = (
+    "benchmarks/bench_micro_substrates.py",
+    "benchmarks/bench_state_encoder.py",
+)
+
+DEFAULT_OUTPUT = REPO_ROOT / "benchmarks" / "bench_baseline.json"
+
+
+def capture(bench_paths: Sequence[str]) -> Dict[str, float]:
+    """Run the benchmarks and return ``{test_name: mean_seconds}``."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    # The guard compares against the file being regenerated; disable it.
+    env["REPRO_BENCH_GUARD"] = "off"
+    with tempfile.TemporaryDirectory() as tmp:
+        json_path = Path(tmp) / "bench.json"
+        result = subprocess.run(
+            [sys.executable, "-m", "pytest", *bench_paths,
+             "--benchmark-only", f"--benchmark-json={json_path}", "-q"],
+            cwd=REPO_ROOT, env=env,
+        )
+        if result.returncode != 0:
+            raise SystemExit(f"benchmark run failed (exit {result.returncode})")
+        data = json.loads(json_path.read_text())
+    means: Dict[str, float] = {}
+    for bench in data["benchmarks"]:
+        # "name" is the bare test name, e.g. "test_match_level_rate".
+        means[bench["name"]] = bench["stats"]["mean"]
+    return dict(sorted(means.items()))
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("benchmarks", nargs="*",
+                        default=list(DEFAULT_BENCHMARKS),
+                        help="benchmark files to capture")
+    parser.add_argument("--output", default=str(DEFAULT_OUTPUT),
+                        help="baseline JSON path")
+    args = parser.parse_args(argv)
+    means = capture(args.benchmarks)
+    output = Path(args.output)
+    output.write_text(json.dumps(means, indent=2, sort_keys=True) + "\n")
+    for name, mean in means.items():
+        print(f"{name}: {mean * 1e3:.3f} ms")
+    print(f"wrote {len(means)} baselines to {output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,7 +7,10 @@ free (no matplotlib available offline).
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import TYPE_CHECKING, List, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.cluster.telemetry import Telemetry
 
 
 def format_seconds(value: float) -> str:
@@ -61,3 +64,39 @@ def ascii_bar_chart(
         bar = "#" * max(1, int(round(width * value / peak)))
         lines.append(f"{label.ljust(label_w)} | {bar} {value:.2f}{unit}")
     return "\n".join(lines)
+
+
+def queueing_report(telemetry: "Telemetry", title: str = "Startup queueing") -> str:
+    """Render a run's queueing-delay summary as a table.
+
+    Empty string when the run never enforced a worker concurrency limit
+    (no queueing telemetry to report).
+    """
+    if not telemetry.queueing_enabled:
+        return ""
+    q = telemetry.queueing_summary()
+    rows = [
+        ["queued starts", f"{int(q['queued_starts'])}"],
+        ["total queueing", format_seconds(q["total_queueing_s"]).strip()],
+        ["mean queueing", format_seconds(q["mean_queueing_s"]).strip()],
+        ["p95 queueing", format_seconds(q["p95_queueing_s"]).strip()],
+        ["max queue depth", f"{int(q['max_queue_depth'])}"],
+    ]
+    return ascii_table(["metric", "value"], rows, title=title)
+
+
+def worker_utilization_report(
+    telemetry: "Telemetry", title: str = "Worker utilization"
+) -> str:
+    """Render per-worker busy fractions as a bar chart.
+
+    Busy time (startup + execution seconds) over the run's duration, one
+    bar per worker.  Empty string when no busy time was recorded (i.e.
+    admission control was disabled).
+    """
+    utilization = telemetry.worker_utilization()
+    if not utilization:
+        return ""
+    labels = [f"worker {w}" for w in utilization]
+    values = [u * 100.0 for u in utilization.values()]
+    return ascii_bar_chart(labels, values, unit="%", title=title)

@@ -7,6 +7,7 @@ fixed-capacity warm pool, and a pluggable eviction policy reclaims space.
 """
 
 from repro.cluster.events import Event, EventKind, EventQueue
+from repro.cluster.eventloop import EventLoop, SimulationClock
 from repro.cluster.faults import FaultConfig, FaultModel
 from repro.cluster.pool import PoolFullError, PoolSet, WarmPool
 from repro.cluster.eviction import (
@@ -15,6 +16,8 @@ from repro.cluster.eviction import (
     LRUEviction,
     RejectNewcomerEviction,
 )
+from repro.cluster.lifecycle import ContainerLifecycle, InvalidDecisionError
+from repro.cluster.placement import PlacementEngine
 from repro.cluster.telemetry import InvocationRecord, Telemetry
 from repro.schedulers.base import Decision
 from repro.cluster.simulator import (
@@ -27,6 +30,8 @@ __all__ = [
     "Event",
     "EventKind",
     "EventQueue",
+    "EventLoop",
+    "SimulationClock",
     "WarmPool",
     "PoolSet",
     "PoolFullError",
@@ -36,6 +41,9 @@ __all__ = [
     "LRUEviction",
     "FaasCacheEviction",
     "RejectNewcomerEviction",
+    "ContainerLifecycle",
+    "PlacementEngine",
+    "InvalidDecisionError",
     "Telemetry",
     "InvocationRecord",
     "ClusterSimulator",

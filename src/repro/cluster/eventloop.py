@@ -1,0 +1,83 @@
+"""Control-plane event loop: the clock, the queue and periodic sweeps.
+
+The :class:`EventLoop` owns the pieces of the simulator that define *when*
+things happen: the deterministic event queue, the monotonic simulation
+clock, and an optional sweep hook that runs after every clock advance
+(the simulator installs the warm-pool TTL sweep there, so expiry happens
+exactly where the old monolithic loop ran it -- once per popped event,
+after time has advanced).
+
+Separating this layer from the container data plane means the policy
+driver (:class:`~repro.cluster.simulator.ClusterSimulator`) contains no
+time-keeping logic at all: it only decides what to do with the events the
+loop hands it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.cluster.events import Event, EventKind, EventQueue
+
+
+class SimulationClock:
+    """Monotonic simulation clock: time advances, never rewinds."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self.now = start
+
+    def advance_to(self, time: float) -> float:
+        """Advance to ``time`` (no-op when ``time`` is in the past)."""
+        if time > self.now:
+            self.now = time
+        return self.now
+
+
+class EventLoop:
+    """Deterministic event queue plus clock plus per-event sweep hook.
+
+    Parameters
+    ----------
+    sweep:
+        Optional callable invoked with the current time after every clock
+        advance (i.e. once per popped event).  The cluster simulator
+        installs the container-lifecycle TTL sweep here.
+    """
+
+    def __init__(self, sweep: Optional[Callable[[float], None]] = None) -> None:
+        self.clock = SimulationClock()
+        self._queue = EventQueue()
+        self._sweep = sweep
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self.clock.now
+
+    def schedule(self, time: float, kind: EventKind, payload: Any = None) -> Event:
+        """Queue an event at ``time``; returns the created event."""
+        return self._queue.push(time, kind, payload)
+
+    def pop_next(self) -> Optional[Event]:
+        """Pop the earliest event, advance the clock, run the sweep.
+
+        Returns ``None`` when the queue is empty (the clock and sweep are
+        untouched in that case).
+        """
+        if not self._queue:
+            return None
+        event = self._queue.pop()
+        self.clock.advance_to(event.time)
+        if self._sweep is not None:
+            self._sweep(self.clock.now)
+        return event
+
+    def peek(self) -> Optional[Event]:
+        """The earliest queued event without popping it."""
+        return self._queue.peek()
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def __bool__(self) -> bool:
+        return bool(self._queue)

@@ -1,0 +1,208 @@
+"""Data-plane container lifecycle: create, claim, repack, keep-alive, destroy.
+
+Extracted from the old ``ClusterSimulator`` monolith, this component owns
+every container-state mutation in the cluster:
+
+* **creation** -- id allocation, live-set registration, live-memory
+  accounting, worker placement and the cleaner's initial volume mount;
+* **claiming** -- validating a warm decision (id exists, Table-I match)
+  and pulling the container out of the warm pool;
+* **repacking** -- delegating to the :class:`ContainerCleaner` and keeping
+  live-memory accounting in sync with the image swap;
+* **keep-alive / eviction / TTL expiry** -- returning finished containers
+  to their worker's pool shard through the eviction policy;
+* **fault hooks** -- crash sampling and startup-breakdown perturbation
+  from the configured :class:`~repro.cluster.faults.FaultModel`.
+
+The policy driver (:class:`~repro.cluster.simulator.ClusterSimulator`)
+composes this with the :class:`~repro.cluster.eventloop.EventLoop` and the
+:class:`~repro.cluster.placement.PlacementEngine`; nothing here touches the
+clock or the event queue.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Optional
+
+from repro.cluster.eviction import EvictionPolicy
+from repro.cluster.faults import FaultConfig, FaultModel
+from repro.cluster.placement import PlacementEngine
+from repro.cluster.pool import PoolSet
+from repro.cluster.telemetry import Telemetry
+from repro.containers.cleaner import CleanResult, ContainerCleaner
+from repro.containers.container import Container, ContainerState
+from repro.containers.costmodel import StartupBreakdown
+from repro.containers.image import FunctionImage
+from repro.containers.matching import MatchLevel, match_level
+from repro.containers.volumes import VolumeStore
+from repro.workloads.workload import Invocation
+
+
+class InvalidDecisionError(RuntimeError):
+    """A scheduler returned an unusable decision (bad id, busy, no-match)."""
+
+
+class ContainerLifecycle:
+    """Owns container creation, reuse, pooling and destruction."""
+
+    def __init__(
+        self,
+        pool: PoolSet,
+        eviction: EvictionPolicy,
+        telemetry: Telemetry,
+        placement: PlacementEngine,
+        faults: FaultConfig,
+        per_worker_pools: bool = False,
+    ) -> None:
+        self.pool = pool
+        self.eviction = eviction
+        self.telemetry = telemetry
+        self.placement = placement
+        self.per_worker_pools = per_worker_pools
+        self.volume_store = VolumeStore()
+        self.cleaner = ContainerCleaner(self.volume_store)
+        self.faults = FaultModel(faults)
+        self._fault_config = faults
+        self._container_ids = itertools.count(1)
+        self._live: Dict[int, Container] = {}
+        self.live_memory_mb = 0.0
+
+    # -- creation -----------------------------------------------------------
+    def create(
+        self,
+        image: FunctionImage,
+        function_name: str,
+        now: float,
+        idle: bool = False,
+    ) -> Container:
+        """Create a container, place it on a worker and mount its volumes.
+
+        ``idle=True`` builds a pre-warmed container (already IDLE, owner
+        recorded) for :meth:`ClusterSimulator.prewarm`; the default is a
+        cold-start container in its STARTING state.
+        """
+        container = Container(
+            container_id=next(self._container_ids),
+            image=image,
+            created_at=now,
+            last_used_at=now if idle else 0.0,
+        )
+        if idle:
+            container.state = ContainerState.IDLE
+        self._live[container.container_id] = container
+        self.live_memory_mb += container.memory_mb
+        self.placement.place(container.container_id, container.memory_mb, now)
+        self.cleaner.initial_mount(container, function_name)
+        if idle:
+            container.current_function = function_name
+        return container
+
+    def live_containers(self) -> Dict[int, Container]:
+        """Snapshot view of every live (non-destroyed) container by id."""
+        return dict(self._live)
+
+    # -- claiming / repacking ------------------------------------------------
+    def claim(
+        self, container_id: Optional[int], invocation: Invocation, now: float
+    ) -> Container:
+        """Validate a warm decision and pull the container from the pool.
+
+        Validation (id known, idle, Table-I reusable) happens *before* any
+        mutation, so an :class:`InvalidDecisionError` leaves the cluster
+        untouched -- callers rely on this to keep the pending invocation
+        alive across a rejected decision.
+        """
+        if container_id is None:  # pragma: no cover - guarded by is_cold
+            raise InvalidDecisionError("warm decision without a container id")
+        container = self.pool.get(container_id)
+        if container is None:
+            raise InvalidDecisionError(
+                f"container {container_id} is not an idle pooled container"
+            )
+        if match_level(invocation.spec.image, container.image) is MatchLevel.NO_MATCH:
+            raise InvalidDecisionError(
+                f"container {container_id} does not match invocation "
+                f"{invocation.spec.name} at any level"
+            )
+        self.pool.remove(container_id)
+        self.telemetry.sample_memory(now, self.pool.used_mb)
+        container.claim()
+        return container
+
+    def repack(
+        self,
+        container: Container,
+        target_image: FunctionImage,
+        function_name: str,
+    ) -> CleanResult:
+        """Repack a claimed container, keeping live memory in sync."""
+        old_memory = container.memory_mb
+        result = self.cleaner.repack(container, target_image, function_name)
+        self.live_memory_mb += container.memory_mb - old_memory
+        return result
+
+    # -- keep-alive / destruction --------------------------------------------
+    def keep_alive(self, container: Container, now: float) -> None:
+        """Try to put a finished container back into its worker's pool."""
+        shard_index = (
+            self.placement.workers.worker_of(container.container_id)
+            if self.per_worker_pools
+            else 0
+        )
+        shard = self.pool.shard(shard_index)
+        victims = self.eviction.select_victims(shard, container, now)
+        if victims is None:
+            self.destroy(container)
+            self.telemetry.record_rejection()
+            return
+        for victim in victims:
+            self.pool.remove(victim.container_id)
+            self.destroy(victim)
+            self.telemetry.record_eviction()
+            if self.telemetry.trace_enabled:
+                self.telemetry.record_event(
+                    now, "eviction", victim.container_id,
+                    victim.current_function,
+                )
+        self.pool.add(container, shard_index)
+        self.telemetry.sample_memory(now, self.pool.used_mb)
+
+    def expire_ttl(self, now: float) -> None:
+        """Destroy pooled containers idle past the eviction policy's TTL."""
+        ttl = self.eviction.ttl_s
+        if ttl is None:
+            return
+        # LRU insertion order implies idle-time order under a fixed TTL, so
+        # expiry pops only the actually-expired heads (O(expired + shards)
+        # per event instead of an O(pool) scan).
+        expired = self.pool.expire_older_than(now - ttl)
+        for container in expired:
+            self.destroy(container)
+            self.telemetry.record_ttl_expiration()
+        if expired:
+            self.telemetry.sample_memory(now, self.pool.used_mb)
+
+    def destroy(self, container: Container) -> None:
+        """Tear a container down and release its worker placement."""
+        if container.state is not ContainerState.EVICTED:
+            container.evict()
+        if self._live.pop(container.container_id, None) is not None:
+            self.live_memory_mb = max(
+                0.0, self.live_memory_mb - container.memory_mb
+            )
+        self.placement.release(container.container_id, container.memory_mb)
+
+    # -- fault hooks ---------------------------------------------------------
+    @property
+    def faults_enabled(self) -> bool:
+        """Whether any fault has a non-zero probability."""
+        return self._fault_config.enabled
+
+    def should_crash(self) -> bool:
+        """Sample whether a finishing container dies instead of pooling."""
+        return self.faults.should_crash()
+
+    def perturb_breakdown(self, breakdown: StartupBreakdown) -> tuple:
+        """Possibly perturb a startup breakdown; returns (breakdown, straggled)."""
+        return self.faults.perturb_breakdown(breakdown)

@@ -1,0 +1,176 @@
+"""Data-plane placement: worker selection, capacity and startup admission.
+
+The paper's system model (Section III-A) runs on a cluster of workers.
+Historically the simulator's :class:`~repro.cluster.worker.WorkerSet` was
+pure accounting -- worker count never affected latency.  The
+:class:`PlacementEngine` makes workers a real resource:
+
+* **Selection** -- cold starts are placed on a worker.  Without a
+  concurrency limit this reproduces the historical least-memory rule
+  byte-for-byte; with a limit, the engine load-balances on in-flight
+  startups/executions instead, and an optional per-worker memory capacity
+  filters out workers that would overcommit.
+* **Admission** -- each worker runs at most ``concurrency_limit``
+  containers concurrently (startup phases plus execution).  Startups
+  beyond the limit queue FIFO on their worker; :meth:`admit` returns the
+  actual start time and the queueing delay, which the simulator adds to
+  the reported startup latency and records separately.
+
+Admission is computed *at decision time*: every admitted startup's
+release time (startup + execution) is known when it is admitted, so the
+engine keeps a small heap of per-slot release times per worker and derives
+each newcomer's start time deterministically -- no extra event types, and
+with the limit disabled the engine is a strict no-op on the hot path.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Optional, Tuple
+
+from repro.cluster.worker import WorkerSet
+
+
+class PlacementEngine:
+    """Worker selection plus per-worker concurrency admission.
+
+    Parameters
+    ----------
+    workers:
+        The placement bookkeeping shared with the rest of the cluster.
+    concurrency_limit:
+        Maximum containers concurrently starting or executing per worker;
+        ``None`` disables admission control entirely (no queueing, and
+        selection falls back to the historical least-memory rule).
+    worker_capacity_mb:
+        Optional per-worker memory bound used as a placement filter: cold
+        starts prefer workers whose hosted memory stays within the bound.
+        When every worker would exceed it, the least-loaded worker is used
+        anyway (the warm pool remains the hard memory limit).
+    """
+
+    def __init__(
+        self,
+        workers: WorkerSet,
+        concurrency_limit: Optional[int] = None,
+        worker_capacity_mb: Optional[float] = None,
+    ) -> None:
+        if concurrency_limit is not None and concurrency_limit < 1:
+            raise ValueError("concurrency_limit must be >= 1")
+        if worker_capacity_mb is not None and worker_capacity_mb <= 0:
+            raise ValueError("worker_capacity_mb must be positive")
+        self.workers = workers
+        self.concurrency_limit = concurrency_limit
+        self.worker_capacity_mb = worker_capacity_mb
+        n = workers.n_workers
+        # Per-worker release times of the jobs currently holding a slot
+        # chain (at most ``concurrency_limit`` entries per worker).
+        self._slots: List[List[float]] = [[] for _ in range(n)]
+        # Per-worker release times of every admitted, unreleased startup.
+        self._inflight: List[List[float]] = [[] for _ in range(n)]
+        # Per-worker start times of admitted-but-not-yet-started startups.
+        self._waiting: List[List[float]] = [[] for _ in range(n)]
+
+    @property
+    def queueing_enabled(self) -> bool:
+        """Whether a finite concurrency limit is being enforced."""
+        return self.concurrency_limit is not None
+
+    # -- selection ----------------------------------------------------------
+    def select_worker(self, memory_mb: float, now: float) -> int:
+        """Pick the worker for a new (cold-started) container.
+
+        With admission control off this is the historical least-memory
+        rule.  With it on, workers are ranked by in-flight load first so
+        ``n_workers`` genuinely spreads startup contention; the optional
+        memory capacity filters candidates before ranking.
+        """
+        candidates = self.workers.workers()
+        if self.worker_capacity_mb is not None:
+            fitting = [
+                w for w in candidates
+                if w.memory_mb + memory_mb <= self.worker_capacity_mb
+            ]
+            if fitting:
+                candidates = fitting
+        if self.concurrency_limit is None:
+            chosen = min(candidates, key=lambda w: (w.memory_mb, w.worker_id))
+        else:
+            chosen = min(
+                candidates,
+                key=lambda w: (
+                    self._inflight_count(w.worker_id, now),
+                    w.memory_mb,
+                    w.worker_id,
+                ),
+            )
+        return chosen.worker_id
+
+    def place(self, container_id: int, memory_mb: float, now: float) -> int:
+        """Select a worker and record the placement; returns the worker id."""
+        worker_id = self.select_worker(memory_mb, now)
+        return self.workers.place_on(worker_id, container_id, memory_mb)
+
+    def release(self, container_id: int, memory_mb: float) -> None:
+        """Remove a destroyed container from its worker's books."""
+        self.workers.release(container_id, memory_mb)
+
+    # -- admission ----------------------------------------------------------
+    def admit(self, worker_id: int, now: float, hold_s: float) -> Tuple[float, float]:
+        """Admit a startup holding a worker slot for ``hold_s`` seconds.
+
+        Returns ``(start_time, queue_delay)``.  With the limit disabled the
+        startup begins immediately.  Otherwise the startup begins as soon
+        as a slot frees on its worker (FIFO); because every admitted job's
+        release time is known, the start time is exact, not an estimate.
+        """
+        if self.concurrency_limit is None:
+            return now, 0.0
+        slots = self._slots[worker_id]
+        while slots and slots[0] <= now:
+            heapq.heappop(slots)
+        start = now
+        while len(slots) >= self.concurrency_limit:
+            release_at = heapq.heappop(slots)
+            if release_at > start:
+                start = release_at
+        release = start + hold_s
+        heapq.heappush(slots, release)
+        inflight = self._inflight[worker_id]
+        while inflight and inflight[0] <= now:
+            heapq.heappop(inflight)
+        heapq.heappush(inflight, release)
+        if start > now:
+            waiting = self._waiting[worker_id]
+            while waiting and waiting[0] <= now:
+                heapq.heappop(waiting)
+            heapq.heappush(waiting, start)
+        return start, start - now
+
+    # -- load views ---------------------------------------------------------
+    def _inflight_count(self, worker_id: int, now: float) -> int:
+        inflight = self._inflight[worker_id]
+        while inflight and inflight[0] <= now:
+            heapq.heappop(inflight)
+        return len(inflight)
+
+    def inflight_counts(self, now: float) -> Tuple[int, ...]:
+        """Admitted-but-unreleased startups/executions per worker."""
+        return tuple(
+            self._inflight_count(i, now)
+            for i in range(self.workers.n_workers)
+        )
+
+    def queue_depths(self, now: float) -> Tuple[int, ...]:
+        """Startups waiting for a concurrency slot, per worker.
+
+        All zeros when admission control is disabled.
+        """
+        if self.concurrency_limit is None:
+            return (0,) * self.workers.n_workers
+        depths = []
+        for waiting in self._waiting:
+            while waiting and waiting[0] <= now:
+                heapq.heappop(waiting)
+            depths.append(len(waiting))
+        return tuple(depths)

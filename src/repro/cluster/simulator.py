@@ -1,4 +1,4 @@
-"""Discrete-event serverless cluster simulator.
+"""Discrete-event serverless cluster simulator (the policy driver).
 
 Faithful to the paper's system model (Section III-A): invocations arrive
 continuously; for each one a scheduler picks a warm container from the
@@ -6,7 +6,22 @@ fix-sized pool or cold-starts a new container; after execution the container
 is put back into the pool, with the eviction policy making room (or rejecting
 the keep-warm request).
 
-The simulator exposes two equivalent driving modes:
+The simulator is layered control-plane / data-plane:
+
+* :class:`~repro.cluster.eventloop.EventLoop` -- the clock, the event
+  queue and the per-event TTL sweep (control plane);
+* :class:`~repro.cluster.lifecycle.ContainerLifecycle` -- container
+  create/claim/repack/keep-alive/destroy, the cleaner, volumes and fault
+  hooks (data plane);
+* :class:`~repro.cluster.placement.PlacementEngine` -- worker selection,
+  per-worker memory capacity and startup admission: with a finite
+  ``worker_concurrency``, startups beyond the limit queue FIFO on their
+  worker and the queueing delay is added to startup latency (and recorded
+  separately in telemetry);
+* :class:`ClusterSimulator` -- the thin policy driver that turns scheduler
+  decisions into lifecycle/placement calls and telemetry records.
+
+The driver exposes two equivalent driving modes:
 
 * :meth:`ClusterSimulator.run` -- batch mode with a
   :class:`~repro.schedulers.base.Scheduler`;
@@ -15,32 +30,39 @@ The simulator exposes two equivalent driving modes:
   needs to interleave learning with decisions.
 
 Both modes share every line of event-handling code, so trained policies see
-exactly the dynamics they were trained on.
+exactly the dynamics they were trained on.  With ``worker_concurrency``
+unset the dynamics (and the resulting telemetry summaries) are identical
+to the pre-layering monolith.
 """
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
-from repro.cluster.events import EventKind, EventQueue
+from repro.cluster.eventloop import EventLoop
+from repro.cluster.events import EventKind
 from repro.cluster.eviction import EvictionPolicy, LRUEviction
-from repro.cluster.faults import FaultConfig, FaultModel
-from repro.cluster.pool import PoolSet, WarmPool
+from repro.cluster.faults import FaultConfig
+from repro.cluster.lifecycle import ContainerLifecycle, InvalidDecisionError
+from repro.cluster.placement import PlacementEngine
+from repro.cluster.pool import PoolSet
 from repro.cluster.telemetry import InvocationRecord, Telemetry
 from repro.cluster.worker import WorkerSet
 from repro.containers.cleaner import ContainerCleaner
-from repro.containers.container import Container, ContainerState
+from repro.containers.container import Container
 from repro.containers.costmodel import StartupCostModel
 from repro.containers.matching import MatchLevel, match_level
 from repro.containers.volumes import VolumeStore
 from repro.schedulers.base import Decision, Scheduler, SchedulingContext
 from repro.workloads.workload import Invocation, Workload
 
-
-class InvalidDecisionError(RuntimeError):
-    """A scheduler returned an unusable decision (bad id, busy, no-match)."""
+__all__ = [
+    "ClusterSimulator",
+    "InvalidDecisionError",
+    "SimulationConfig",
+    "SimulationResult",
+]
 
 
 @dataclass(frozen=True)
@@ -55,7 +77,9 @@ class SimulationConfig:
     cost_model:
         Startup cost model shared by scheduling estimates and actual costs.
     n_workers:
-        Workers for placement accounting (does not affect latency).
+        Worker nodes in the cluster.  With ``worker_concurrency`` set this
+        is a first-class experimental knob: fewer workers means more
+        startup queueing at the same arrival rate.
     delta_pricing:
         Price warm reuse by per-package deltas
         (:meth:`StartupCostModel.delta_breakdown`) instead of Table-I level
@@ -66,6 +90,16 @@ class SimulationConfig:
         paper's "each worker has a reserved memory space").  Scheduling
         still sees the union of idle containers; keep-alive and eviction
         happen on the container's own worker.
+    worker_concurrency:
+        Maximum containers concurrently starting or executing per worker.
+        ``None`` (the default) disables admission control entirely and
+        reproduces the historical no-contention dynamics byte-for-byte;
+        a finite limit queues excess startups FIFO per worker, adds the
+        queueing delay to startup latency, and unlocks the queueing /
+        utilization telemetry block.
+    worker_capacity_mb:
+        Optional per-worker memory bound used to filter cold-start
+        placement (see :class:`~repro.cluster.placement.PlacementEngine`).
     """
 
     pool_capacity_mb: float
@@ -75,6 +109,14 @@ class SimulationConfig:
     per_worker_pools: bool = False
     faults: "FaultConfig" = field(default_factory=lambda: FaultConfig())
     trace: bool = False
+    worker_concurrency: Optional[int] = None
+    worker_capacity_mb: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.worker_concurrency is not None and self.worker_concurrency < 1:
+            raise ValueError("worker_concurrency must be >= 1")
+        if self.worker_capacity_mb is not None and self.worker_capacity_mb <= 0:
+            raise ValueError("worker_capacity_mb must be positive")
 
 
 @dataclass(frozen=True)
@@ -92,7 +134,7 @@ class SimulationResult:
 
 
 class ClusterSimulator:
-    """The event-driven serverless platform."""
+    """The event-driven serverless platform (policy driver layer)."""
 
     def __init__(
         self,
@@ -105,19 +147,47 @@ class ClusterSimulator:
             config.pool_capacity_mb,
             n_shards=config.n_workers if config.per_worker_pools else 1,
         )
-        self.telemetry = Telemetry(trace_enabled=config.trace)
+        self.telemetry = Telemetry(
+            trace_enabled=config.trace,
+            queueing_enabled=config.worker_concurrency is not None,
+            worker_slots=config.worker_concurrency or 1,
+        )
         self.workers = WorkerSet(config.n_workers)
-        self.volume_store = VolumeStore()
-        self.cleaner = ContainerCleaner(self.volume_store)
-        self.now = 0.0
-        self._faults = FaultModel(config.faults)
-        self._events = EventQueue()
-        self._container_ids = itertools.count(1)
-        self._live: Dict[int, Container] = {}
-        self._live_memory_mb = 0.0
+        self.placement = PlacementEngine(
+            self.workers,
+            concurrency_limit=config.worker_concurrency,
+            worker_capacity_mb=config.worker_capacity_mb,
+        )
+        self.lifecycle = ContainerLifecycle(
+            pool=self.pool,
+            eviction=self.eviction,
+            telemetry=self.telemetry,
+            placement=self.placement,
+            faults=config.faults,
+            per_worker_pools=config.per_worker_pools,
+        )
+        self.loop = EventLoop(sweep=self.lifecycle.expire_ttl)
         self._pending: Optional[Invocation] = None
         self._workload_name = "<none>"
         self._finished = False
+
+    # ------------------------------------------------------------------
+    # Convenience views over the layers
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulation time (owned by the event loop's clock)."""
+        return self.loop.now
+
+    @property
+    def volume_store(self) -> VolumeStore:
+        """The lifecycle layer's volume store."""
+        return self.lifecycle.volume_store
+
+    @property
+    def cleaner(self) -> ContainerCleaner:
+        """The lifecycle layer's container cleaner."""
+        return self.lifecycle.cleaner
 
     # ------------------------------------------------------------------
     # Batch mode
@@ -141,7 +211,7 @@ class ClusterSimulator:
             raise RuntimeError("simulator already finished; build a new one")
         self._workload_name = workload.name
         for inv in workload:
-            self._events.push(inv.arrival_time, EventKind.ARRIVAL, inv)
+            self.loop.schedule(inv.arrival_time, EventKind.ARRIVAL, inv)
 
     def prewarm(self, image, owner_name: str = "prewarm") -> Container:
         """Provision an idle warm container before (or between) arrivals.
@@ -149,23 +219,14 @@ class ClusterSimulator:
         Implements proactive pre-warming (Shahrad et al.) and zygote
         provisioning (Li et al.): the container appears in the pool
         immediately and consumes pool capacity; the eviction policy makes
-        room if needed.  Raises :class:`~repro.cluster.pool.PoolFullError`
-        via the eviction policy returning ``None`` when it cannot fit.
+        room if needed.  When the container lands in the pool the warm
+        memory is sampled (``telemetry.sample_memory``) so prewarm
+        experiments get accurate pool-occupancy traces.
         """
-        container = Container(
-            container_id=next(self._container_ids),
-            image=image,
-            created_at=self.now,
-            last_used_at=self.now,
-        )
-        container.state = ContainerState.IDLE
-        self._live[container.container_id] = container
-        self._live_memory_mb += container.memory_mb
-        self.telemetry.sample_live_memory(self._live_memory_mb)
-        self.workers.place(container.container_id, container.memory_mb)
-        self.cleaner.initial_mount(container, owner_name)
-        container.current_function = owner_name
-        self._keep_alive(container)
+        now = self.loop.now
+        container = self.lifecycle.create(image, owner_name, now, idle=True)
+        self.telemetry.sample_live_memory(self.lifecycle.live_memory_mb)
+        self.lifecycle.keep_alive(container, now)
         return container
 
     def next_decision_point(self) -> Optional[SchedulingContext]:
@@ -176,10 +237,7 @@ class ClusterSimulator:
         """
         if self._pending is not None:
             raise RuntimeError("previous decision not applied yet")
-        while self._events:
-            event = self._events.pop()
-            self.now = max(self.now, event.time)
-            self._expire_ttl()
+        while (event := self.loop.pop_next()) is not None:
             if event.kind is EventKind.ARRIVAL:
                 self._pending = event.payload
                 return self._context_for(self._pending)
@@ -187,41 +245,42 @@ class ClusterSimulator:
         return None
 
     def apply_decision(self, decision: Decision) -> InvocationRecord:
-        """Execute a scheduling decision for the pending invocation."""
+        """Execute a scheduling decision for the pending invocation.
+
+        A rejected decision (:class:`InvalidDecisionError`) leaves the
+        pending invocation in place, so the caller can retry with a valid
+        decision instead of silently losing the arrival.
+        """
         if self._pending is None:
             raise RuntimeError("no pending invocation; call next_decision_point")
-        invocation, self._pending = self._pending, None
+        invocation = self._pending
         spec = invocation.spec
+        now = self.loop.now
 
         if decision.is_cold:
-            container = Container(
-                container_id=next(self._container_ids),
-                image=spec.image,
-                created_at=self.now,
-            )
-            self._live[container.container_id] = container
-            self._live_memory_mb += container.memory_mb
-            self.workers.place(container.container_id, container.memory_mb)
-            self.cleaner.initial_mount(container, spec.name)
+            container = self.lifecycle.create(spec.image, spec.name, now)
             match = MatchLevel.NO_MATCH
             old_image = spec.image
         else:
-            container = self._claim_container(decision.container_id, invocation)
-            old_memory = container.memory_mb
+            # claim() validates before mutating: an InvalidDecisionError
+            # propagates with self._pending intact.
+            container = self.lifecycle.claim(
+                decision.container_id, invocation, now
+            )
             old_image = container.image
             # Zygote-style reuse keeps the container's own (superset) image;
             # the cleaner then only swaps the user-data volume.
             target_image = (
                 container.image if decision.preserve_image else spec.image
             )
-            result = self.cleaner.repack(container, target_image, spec.name)
-            self._live_memory_mb += container.memory_mb - old_memory
+            result = self.lifecycle.repack(container, target_image, spec.name)
             match = (
                 match_level(spec.image, container.image)
                 if decision.preserve_image
                 else result.match
             )
-        self.telemetry.sample_live_memory(self._live_memory_mb)
+        self._pending = None
+        self.telemetry.sample_live_memory(self.lifecycle.live_memory_mb)
 
         if not decision.is_cold and self.config.delta_pricing:
             breakdown = self.config.cost_model.delta_breakdown(
@@ -231,21 +290,34 @@ class ClusterSimulator:
             breakdown = self.config.cost_model.breakdown(
                 spec.image, match, spec.function_init_s
             )
-        if self.config.faults.enabled:
-            breakdown, straggled = self._faults.perturb_breakdown(breakdown)
+        if self.lifecycle.faults_enabled:
+            breakdown, straggled = self.lifecycle.perturb_breakdown(breakdown)
             if straggled:
                 self.telemetry.record_straggler()
-        latency = breakdown.total_s
-        ready_at = self.now + latency
-        container.begin_startup(spec.name, self.now, ready_at)
-        self._events.push(ready_at, EventKind.STARTUP_COMPLETE,
-                          (container, invocation))
+        service_s = breakdown.total_s
+        worker_id = self.workers.worker_of(container.container_id)
+        start_at, queue_delay = self.placement.admit(
+            worker_id, now, service_s + invocation.execution_time_s
+        )
+        latency = queue_delay + service_s
+        ready_at = start_at + service_s
+        container.begin_startup(spec.name, now, ready_at)
+        self.loop.schedule(ready_at, EventKind.STARTUP_COMPLETE,
+                           (container, invocation))
         self.eviction.on_function_start(spec.name, latency,
-                                        container.memory_mb, self.now)
+                                        container.memory_mb, now)
+        if self.telemetry.queueing_enabled:
+            self.telemetry.record_queueing(queue_delay)
+            self.telemetry.record_queue_depth(
+                max(self.placement.queue_depths(now))
+            )
+            self.telemetry.record_worker_busy(
+                worker_id, service_s + invocation.execution_time_s
+            )
         if self.telemetry.trace_enabled:
             # Guarded so the detail string is only formatted when tracing.
             self.telemetry.record_event(
-                self.now,
+                now,
                 "cold_start" if decision.is_cold else f"warm_{match.name}",
                 container.container_id,
                 spec.name,
@@ -261,6 +333,8 @@ class ClusterSimulator:
             startup_latency_s=latency,
             breakdown=breakdown,
             execution_time_s=invocation.execution_time_s,
+            queue_delay_s=queue_delay,
+            worker_id=worker_id,
         )
         self.telemetry.record_invocation(record)
         return record
@@ -269,14 +343,12 @@ class ClusterSimulator:
         """Drain remaining events and return the run result."""
         if self._pending is not None:
             raise RuntimeError("pending decision not applied")
-        while self._events:
-            event = self._events.pop()
-            self.now = max(self.now, event.time)
-            self._expire_ttl()
+        while (event := self.loop.pop_next()) is not None:
             if event.kind is EventKind.ARRIVAL:
                 raise RuntimeError("finish() called with arrivals outstanding")
             self._handle_non_arrival(event)
         self._finished = True
+        self.telemetry.duration_s = self.loop.now
         return SimulationResult(
             workload_name=self._workload_name,
             scheduler_name=scheduler_name,
@@ -288,107 +360,43 @@ class ClusterSimulator:
     # Internals
     # ------------------------------------------------------------------
     def _context_for(self, invocation: Invocation) -> SchedulingContext:
+        now = self.loop.now
         return SchedulingContext(
-            now=self.now,
+            now=now,
             invocation=invocation,
             idle_containers=tuple(self.pool.lru_order()),
             cost_model=self.config.cost_model,
             pool_capacity_mb=self.pool.capacity_mb,
             pool_used_mb=self.pool.used_mb,
             pool=self.pool,
+            worker_loads=self.workers.container_counts(),
+            queue_depths=self.placement.queue_depths(now),
         )
-
-    def _claim_container(
-        self, container_id: Optional[int], invocation: Invocation
-    ) -> Container:
-        if container_id is None:  # pragma: no cover - guarded by is_cold
-            raise InvalidDecisionError("warm decision without a container id")
-        container = self.pool.get(container_id)
-        if container is None:
-            raise InvalidDecisionError(
-                f"container {container_id} is not an idle pooled container"
-            )
-        if match_level(invocation.spec.image, container.image) is MatchLevel.NO_MATCH:
-            raise InvalidDecisionError(
-                f"container {container_id} does not match invocation "
-                f"{invocation.spec.name} at any level"
-            )
-        self.pool.remove(container_id)
-        self.telemetry.sample_memory(self.now, self.pool.used_mb)
-        container.claim()
-        return container
 
     def _handle_non_arrival(self, event) -> None:
         container, invocation = event.payload
+        now = self.loop.now
         if event.kind is EventKind.STARTUP_COMPLETE:
-            finish_at = self.now + invocation.execution_time_s
-            container.begin_execution(self.now, finish_at)
-            self._events.push(finish_at, EventKind.EXECUTION_COMPLETE,
-                              (container, invocation))
+            finish_at = now + invocation.execution_time_s
+            container.begin_execution(now, finish_at)
+            self.loop.schedule(finish_at, EventKind.EXECUTION_COMPLETE,
+                               (container, invocation))
         elif event.kind is EventKind.EXECUTION_COMPLETE:
-            container.finish_execution(self.now)
+            container.finish_execution(now)
             if self.telemetry.trace_enabled:
                 self.telemetry.record_event(
-                    self.now, "execution_complete", container.container_id,
+                    now, "execution_complete", container.container_id,
                     container.current_function,
                 )
-            if self.config.faults.enabled and self._faults.should_crash():
-                self._destroy(container)
+            if self.lifecycle.faults_enabled and self.lifecycle.should_crash():
+                self.lifecycle.destroy(container)
                 self.telemetry.record_crash()
                 if self.telemetry.trace_enabled:
                     self.telemetry.record_event(
-                        self.now, "crash", container.container_id,
+                        now, "crash", container.container_id,
                         container.current_function,
                     )
             else:
-                self._keep_alive(container)
+                self.lifecycle.keep_alive(container, now)
         else:  # pragma: no cover - exhaustive enum
             raise RuntimeError(f"unhandled event kind {event.kind}")
-
-    def _keep_alive(self, container: Container) -> None:
-        """Try to put a finished container back into its worker's pool."""
-        shard_index = (
-            self.workers.worker_of(container.container_id)
-            if self.config.per_worker_pools
-            else 0
-        )
-        shard = self.pool.shard(shard_index)
-        victims = self.eviction.select_victims(shard, container, self.now)
-        if victims is None:
-            self._destroy(container)
-            self.telemetry.record_rejection()
-            return
-        for victim in victims:
-            self.pool.remove(victim.container_id)
-            self._destroy(victim)
-            self.telemetry.record_eviction()
-            if self.telemetry.trace_enabled:
-                self.telemetry.record_event(
-                    self.now, "eviction", victim.container_id,
-                    victim.current_function,
-                )
-        self.pool.add(container, shard_index)
-        self.telemetry.sample_memory(self.now, self.pool.used_mb)
-
-    def _expire_ttl(self) -> None:
-        ttl = self.eviction.ttl_s
-        if ttl is None:
-            return
-        # LRU insertion order implies idle-time order under a fixed TTL, so
-        # expiry pops only the actually-expired heads (O(expired + shards)
-        # per event instead of an O(pool) scan).
-        expired = self.pool.expire_older_than(self.now - ttl)
-        for container in expired:
-            self._destroy(container)
-            self.telemetry.record_ttl_expiration()
-        if expired:
-            self.telemetry.sample_memory(self.now, self.pool.used_mb)
-
-    def _destroy(self, container: Container) -> None:
-        if container.state is not ContainerState.EVICTED:
-            container.evict()
-        if self._live.pop(container.container_id, None) is not None:
-            self._live_memory_mb = max(
-                0.0, self._live_memory_mb - container.memory_mb
-            )
-        self.workers.release(container.container_id, container.memory_mb)

@@ -18,7 +18,12 @@ from repro.containers.matching import MatchLevel
 
 @dataclass(frozen=True)
 class InvocationRecord:
-    """Per-invocation outcome."""
+    """Per-invocation outcome.
+
+    ``startup_latency_s`` includes any queueing delay the startup spent
+    waiting for a worker concurrency slot; ``queue_delay_s`` records that
+    component separately (0 when admission control is disabled).
+    """
 
     invocation_id: int
     function_name: str
@@ -29,10 +34,17 @@ class InvocationRecord:
     startup_latency_s: float
     breakdown: StartupBreakdown
     execution_time_s: float
+    queue_delay_s: float = 0.0
+    worker_id: int = 0
 
     @property
     def finish_time(self) -> float:
         return self.arrival_time + self.startup_latency_s + self.execution_time_s
+
+    @property
+    def service_latency_s(self) -> float:
+        """Startup latency excluding time queued for a worker slot."""
+        return self.startup_latency_s - self.queue_delay_s
 
 
 @dataclass(frozen=True)
@@ -73,6 +85,18 @@ class Telemetry:
     peak_live_memory_mb: float = 0.0
     trace: List[TraceEvent] = field(default_factory=list)
     trace_enabled: bool = False
+    #: Set by the simulator when a worker concurrency limit is enforced;
+    #: gates the queueing/utilization block of :meth:`summary` so runs
+    #: without admission control keep their historical summary keys.
+    queueing_enabled: bool = False
+    queue_delays: List[float] = field(default_factory=list)
+    max_queue_depth: int = 0
+    worker_busy_s: Dict[int, float] = field(default_factory=dict)
+    duration_s: float = 0.0
+    #: Concurrency slots per worker (the simulator's ``worker_concurrency``);
+    #: normalizes :meth:`worker_utilization` so a fully-busy worker reads 1.0
+    #: regardless of how many slots it runs.
+    worker_slots: int = 1
 
     # -- recording ----------------------------------------------------------
     def record_invocation(self, record: InvocationRecord) -> None:
@@ -122,6 +146,21 @@ class Telemetry:
     def record_crash(self) -> None:
         """Count one injected container crash."""
         self.container_crashes += 1
+
+    def record_queueing(self, delay_s: float) -> None:
+        """Record one startup's queueing delay (0 when it started at once)."""
+        self.queue_delays.append(delay_s)
+
+    def record_queue_depth(self, depth: int) -> None:
+        """Track the deepest per-worker startup queue observed."""
+        if depth > self.max_queue_depth:
+            self.max_queue_depth = depth
+
+    def record_worker_busy(self, worker_id: int, seconds: float) -> None:
+        """Accumulate busy (startup + execution) seconds for one worker."""
+        self.worker_busy_s[worker_id] = (
+            self.worker_busy_s.get(worker_id, 0.0) + seconds
+        )
 
     def record_straggler(self) -> None:
         """Count one injected pull straggler."""
@@ -179,6 +218,55 @@ class Telemetry:
             hist[r.match] += 1
         return hist
 
+    @property
+    def total_queueing_s(self) -> float:
+        """Total time startups spent queued for worker slots."""
+        return float(sum(self.queue_delays))
+
+    @property
+    def queued_starts(self) -> int:
+        """How many startups had to wait for a worker slot."""
+        return sum(1 for d in self.queue_delays if d > 0)
+
+    def worker_utilization(self) -> Dict[int, float]:
+        """Busy fraction per worker over the run's duration.
+
+        Busy time is accumulated by :meth:`record_worker_busy` (startup
+        plus execution); the denominator is :attr:`duration_s` (set by the
+        simulator to the final simulation time at :meth:`finish`) times
+        :attr:`worker_slots`, so a worker saturating all of its concurrency
+        slots for the whole run reads 1.0.  Empty when admission control
+        never recorded busy time.
+        """
+        if self.duration_s <= 0:
+            return {w: 0.0 for w in self.worker_busy_s}
+        denom = self.duration_s * max(1, self.worker_slots)
+        return {
+            w: busy / denom
+            for w, busy in sorted(self.worker_busy_s.items())
+        }
+
+    def queueing_summary(self) -> Dict[str, float]:
+        """Scalar queueing/utilization block (appended to :meth:`summary`
+        when a worker concurrency limit was enforced)."""
+        delays = np.array(self.queue_delays, dtype=np.float64)
+        utilization = list(self.worker_utilization().values())
+        return {
+            "total_queueing_s": float(delays.sum()) if delays.size else 0.0,
+            "mean_queueing_s": float(delays.mean()) if delays.size else 0.0,
+            "p95_queueing_s": (
+                float(np.percentile(delays, 95)) if delays.size else 0.0
+            ),
+            "queued_starts": float(self.queued_starts),
+            "max_queue_depth": float(self.max_queue_depth),
+            "mean_worker_utilization": (
+                float(np.mean(utilization)) if utilization else 0.0
+            ),
+            "max_worker_utilization": (
+                float(np.max(utilization)) if utilization else 0.0
+            ),
+        }
+
     def per_function_mean_latency(self) -> Dict[str, float]:
         """Mean startup latency per function name."""
         sums: Dict[str, float] = {}
@@ -189,9 +277,14 @@ class Telemetry:
         return {name: sums[name] / counts[name] for name in sums}
 
     def summary(self) -> Dict[str, float]:
-        """Scalar summary used by experiment reports."""
+        """Scalar summary used by experiment reports.
+
+        The queueing/utilization block is only present when the run
+        enforced a worker concurrency limit, so summaries of runs without
+        admission control are unchanged from the pre-queueing simulator.
+        """
         lat = self.latencies()
-        return {
+        base = {
             "invocations": float(self.n_invocations),
             "total_startup_s": self.total_startup_latency_s,
             "mean_startup_s": self.mean_startup_latency_s,
@@ -207,3 +300,6 @@ class Telemetry:
             "container_crashes": float(self.container_crashes),
             "stragglers": float(self.stragglers),
         }
+        if self.queueing_enabled:
+            base.update(self.queueing_summary())
+        return base

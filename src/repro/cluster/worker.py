@@ -1,16 +1,18 @@
 """Worker-node accounting.
 
 The paper's system runs on a cluster of workers, each reserving memory for
-the warm pool.  Scheduling decisions in the paper (and here) operate on the
-aggregate pool; the :class:`WorkerSet` tracks *placement* -- which worker
-hosts which container -- using least-loaded assignment, so experiments can
-report per-worker distribution without affecting latency results.
+the warm pool.  The :class:`WorkerSet` tracks *placement* -- which worker
+hosts which container -- and exposes per-worker load views.  Worker
+*selection* (least-loaded fallback, capacity filtering, startup admission
+and queueing) lives in :class:`~repro.cluster.placement.PlacementEngine`;
+the set itself is pure bookkeeping so both layers share one source of
+truth about who hosts what.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Tuple
 
 
 @dataclass
@@ -27,7 +29,7 @@ class Worker:
 
 
 class WorkerSet:
-    """Least-loaded (by memory) container placement across workers."""
+    """Container-to-worker placement bookkeeping across a cluster."""
 
     def __init__(self, n_workers: int = 4) -> None:
         if n_workers < 1:
@@ -35,11 +37,25 @@ class WorkerSet:
         self._workers: List[Worker] = [Worker(i) for i in range(n_workers)]
         self._placement: Dict[int, int] = {}
 
+    def workers(self) -> List[Worker]:
+        """The live worker objects (placement engines read loads off these)."""
+        return self._workers
+
     def place(self, container_id: int, memory_mb: float) -> int:
-        """Assign a container to the least-loaded worker; returns worker id."""
+        """Assign a container to the least-loaded worker; returns worker id.
+
+        Least-loaded means smallest hosted memory, ties broken by worker
+        id -- the historical default selection rule, kept for callers that
+        bypass the placement engine.
+        """
+        worker = min(self._workers, key=lambda w: (w.memory_mb, w.worker_id))
+        return self.place_on(worker.worker_id, container_id, memory_mb)
+
+    def place_on(self, worker_id: int, container_id: int, memory_mb: float) -> int:
+        """Assign a container to a specific worker; returns the worker id."""
         if container_id in self._placement:
             raise ValueError(f"container {container_id} already placed")
-        worker = min(self._workers, key=lambda w: (w.memory_mb, w.worker_id))
+        worker = self._workers[worker_id]
         worker.container_ids.add(container_id)
         worker.memory_mb += memory_mb
         self._placement[container_id] = worker.worker_id
@@ -57,6 +73,14 @@ class WorkerSet:
     def worker_of(self, container_id: int) -> int:
         """The worker id hosting a container."""
         return self._placement[container_id]
+
+    def container_counts(self) -> Tuple[int, ...]:
+        """Hosted container count per worker (busy and idle alike)."""
+        return tuple(w.n_containers for w in self._workers)
+
+    def memory_loads(self) -> Tuple[float, ...]:
+        """Hosted container memory per worker, in MB."""
+        return tuple(w.memory_mb for w in self._workers)
 
     def load_snapshot(self) -> List[Dict[str, float]]:
         """Per-worker load for telemetry/reporting."""

@@ -64,6 +64,11 @@ class MLCRConfig:
         Strength of potential-based reward shaping (0 disables).  The
         potential is the demand-weighted warm value of the idle pool; see
         :mod:`repro.core.env`.
+    load_features:
+        Append aggregate cluster-load features (worker loads, startup
+        queue depths) to the encoder's global segment.  Useful when
+        training against a simulator with a finite ``worker_concurrency``;
+        off by default so the historical state layout is unchanged.
     seed:
         Master seed for network init, exploration and replay sampling.
     """
@@ -89,6 +94,7 @@ class MLCRConfig:
     eval_episodes: int = 2
     reward_scale: float = 0.1
     shaping_coef: float = 1.0
+    load_features: bool = False
     seed: int = 0
 
     def __post_init__(self) -> None:

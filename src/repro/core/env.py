@@ -37,13 +37,19 @@ from repro.workloads.workload import Workload
 
 @dataclass(frozen=True)
 class StepResult:
-    """Outcome of one environment step."""
+    """Outcome of one environment step.
+
+    ``queue_delay_s`` is the portion of ``startup_latency_s`` spent
+    waiting for a worker concurrency slot (0 unless the simulator
+    enforces a ``worker_concurrency`` limit).
+    """
 
     state: Optional[EncodedState]   # next decision point (None when done)
     reward: float
     done: bool
     startup_latency_s: float
     cold_start: bool
+    queue_delay_s: float = 0.0
 
 
 class SchedulingEnv:
@@ -123,6 +129,7 @@ class SchedulingEnv:
                 done=True,
                 startup_latency_s=record.startup_latency_s,
                 cold_start=record.cold_start,
+                queue_delay_s=record.queue_delay_s,
             )
         next_state = self.encoder.encode(ctx)
         if self.shaping_coef:
@@ -135,6 +142,7 @@ class SchedulingEnv:
             done=False,
             startup_latency_s=record.startup_latency_s,
             cold_start=record.cold_start,
+            queue_delay_s=record.queue_delay_s,
         )
 
     # -- potential-based shaping -------------------------------------------

@@ -149,7 +149,9 @@ def train_mlcr_scheduler(
         MLCR hyperparameters; defaults to :class:`MLCRConfig`.
     """
     cfg = config or MLCRConfig()
-    encoder = StateEncoder(n_slots=cfg.n_slots, catalog=catalog)
+    encoder = StateEncoder(
+        n_slots=cfg.n_slots, catalog=catalog, load_features=cfg.load_features
+    )
     env = SchedulingEnv(
         workload_factory=workload_factory,
         sim_config=sim_config,

@@ -29,6 +29,7 @@ from repro.experiments import (
     fig11_benchmarks,
     overhead,
     parallel,
+    queueing,
     tab2_functions,
 )
 from repro.experiments.common import ExperimentScale
@@ -74,6 +75,8 @@ def _experiments(
          lambda: overhead.report(overhead.run(scale))),
         ("ablations", "Ablations",
          lambda: ablations.report(ablations.run(scale))),
+        ("queueing", "Extension - worker concurrency & queueing",
+         lambda: queueing.report(queueing.run(scale))),
         ("grid", "Baseline grid (parallel runner)",
          lambda: parallel.run_default_grid(scale, jobs=jobs).report()),
     ]

@@ -73,6 +73,13 @@ class SchedulingContext:
         :meth:`exact_matches` into dictionary lookups.  ``None`` in
         hand-built contexts -- every helper falls back to scanning
         ``idle_containers``.
+    worker_loads:
+        Hosted container count per worker (busy and idle alike), indexed
+        by worker id.  Empty in hand-built contexts.
+    queue_depths:
+        Startups waiting for a worker concurrency slot, per worker.  All
+        zeros unless the simulator enforces a ``worker_concurrency``
+        limit; empty in hand-built contexts.
     """
 
     now: float
@@ -82,6 +89,8 @@ class SchedulingContext:
     pool_capacity_mb: float
     pool_used_mb: float
     pool: Optional["PoolSet"] = None
+    worker_loads: Tuple[int, ...] = ()
+    queue_depths: Tuple[int, ...] = ()
 
     # -- helpers every scheduler needs -------------------------------------
     def match_of(self, container: Container) -> MatchLevel:

@@ -119,6 +119,8 @@ def make_ctx(
     capacity_mb: float = 4096.0,
     used_mb: float = 0.0,
     cost_model: Optional[StartupCostModel] = None,
+    worker_loads: Sequence[int] = (),
+    queue_depths: Sequence[int] = (),
 ) -> SchedulingContext:
     return SchedulingContext(
         now=now,
@@ -127,6 +129,8 @@ def make_ctx(
         cost_model=cost_model or StartupCostModel(),
         pool_capacity_mb=capacity_mb,
         pool_used_mb=used_mb,
+        worker_loads=tuple(worker_loads),
+        queue_depths=tuple(queue_depths),
     )
 
 

@@ -2,12 +2,15 @@
 
 import pytest
 
+from repro.cluster.eviction import RejectNewcomerEviction
 from repro.cluster.pool import PoolFullError, PoolSet
 from repro.cluster.simulator import ClusterSimulator, SimulationConfig
 from repro.schedulers.greedy import GreedyMatchScheduler
 from repro.schedulers.lru import LRUScheduler
 from repro.workloads.fstartbench import overall_workload
+from repro.workloads.workload import Workload
 
+from conftest import make_image, make_invocation, make_spec
 from test_cluster_pool import small_container
 
 
@@ -113,3 +116,80 @@ class TestShardedSimulation:
         t = self._run(per_worker=True, scheduler_cls=LRUScheduler)
         assert t.cold_starts >= 1
         assert t.peak_warm_memory_mb <= 1200.0 + 1e-6
+
+
+class TestShardedTTLAndEviction:
+    """per_worker_pools combined with TTL expiry and eviction."""
+
+    def test_expire_older_than_spans_all_shards(self):
+        ps = PoolSet(1000.0, n_shards=2)
+        ps.add(small_container(1, last_used=1.0), 0)
+        ps.add(small_container(2, last_used=2.0), 1)
+        ps.add(small_container(3, last_used=9.0), 0)
+        expired = ps.expire_older_than(5.0)
+        assert sorted(c.container_id for c in expired) == [1, 2]
+        assert 3 in ps and 1 not in ps and 2 not in ps
+
+    def test_expired_container_is_rekeyed_out_of_shard_map(self):
+        ps = PoolSet(1000.0, n_shards=2)
+        ps.add(small_container(1, last_used=1.0), 1)
+        ps.expire_older_than(5.0)
+        with pytest.raises(KeyError):
+            ps.shard_of(1)
+        # The id can re-enter on a different shard after expiry.
+        ps.add(small_container(1, last_used=10.0), 0)
+        assert ps.shard_of(1) is ps.shard(0)
+
+    def _ttl_sim(self, ttl_s=600.0, n_workers=2):
+        return ClusterSimulator(
+            SimulationConfig(pool_capacity_mb=10_000.0, n_workers=n_workers,
+                             per_worker_pools=True),
+            RejectNewcomerEviction(ttl_s=ttl_s),
+        )
+
+    def test_ttl_expiry_in_sharded_run(self):
+        spec = make_spec(name="fa", image=make_image("a"))
+        wl = Workload.from_invocations("ttl", [
+            make_invocation(spec, 0, arrival_time=0.0, execution_time_s=0.5),
+            # Arrives long after the TTL: the pooled container must expire
+            # from its shard, forcing a second cold start.
+            make_invocation(spec, 1, arrival_time=2000.0),
+        ])
+        sim = self._ttl_sim()
+        t = sim.run(wl, LRUScheduler()).telemetry
+        assert t.ttl_expirations == 1
+        assert t.cold_starts == 2
+        assert len(sim.pool) == 1  # only the second container remains
+
+    def test_ttl_and_eviction_account_exactly_once_per_container(self):
+        workload = overall_workload(seed=0, n=150)
+        scheduler = GreedyMatchScheduler()
+        sim = ClusterSimulator(
+            SimulationConfig(pool_capacity_mb=1200.0, n_workers=4,
+                             per_worker_pools=True),
+            RejectNewcomerEviction(ttl_s=60.0),
+        )
+        t = sim.run(workload, scheduler).telemetry
+        assert t.ttl_expirations > 0
+        # Conservation: every created container is either still live
+        # (pooled or executing) or left exactly one destruction record.
+        destroyed = (t.evictions + t.ttl_expirations
+                     + t.keep_alive_rejections + t.container_crashes)
+        created = t.cold_starts
+        assert destroyed <= created
+        assert len(sim.lifecycle.live_containers()) == created - destroyed
+
+    def test_sharded_ttl_respects_per_shard_recency(self):
+        # Two workers; the container on shard 0 is older than the TTL
+        # threshold, the one on shard 1 is fresh -- only the former expires.
+        sim = self._ttl_sim(ttl_s=100.0)
+        ps = sim.pool
+        ps.add(small_container(1, last_used=0.0), 0)
+        ps.add(small_container(2, last_used=150.0), 1)
+        sim.lifecycle._live[1] = ps.get(1)
+        sim.lifecycle._live[2] = ps.get(2)
+        sim.placement.place(1, 100.0, 0.0)
+        sim.placement.place(2, 100.0, 0.0)
+        sim.lifecycle.expire_ttl(now=160.0)
+        assert sim.telemetry.ttl_expirations == 1
+        assert 1 not in ps and 2 in ps

@@ -168,6 +168,44 @@ class TestInvalidDecisions:
         with pytest.raises(InvalidDecisionError):
             s.apply_decision(Decision.warm(warm_id))
 
+    def test_rejected_decision_keeps_invocation_pending(self):
+        # Regression: apply_decision used to pop the pending invocation
+        # before validating, so a rejected decision lost the arrival and
+        # next_decision_point() skipped it entirely.
+        s = sim()
+        s.load(workload_of([make_invocation(spec_a(), 0)]))
+        assert s.next_decision_point() is not None
+        with pytest.raises(InvalidDecisionError):
+            s.apply_decision(Decision.warm(999))
+        # The arrival is still pending: retrying with a valid decision works.
+        record = s.apply_decision(Decision.cold())
+        assert record.invocation_id == 0
+        t = s.finish().telemetry
+        assert t.n_invocations == 1
+
+    def test_rejected_decision_leaves_cluster_untouched(self):
+        wl = workload_of([
+            make_invocation(spec_a(), 0, arrival_time=0.0,
+                            execution_time_s=0.5),
+            make_invocation(spec_a("fa2"), 1, arrival_time=100.0),
+        ])
+        s = sim()
+        s.load(wl)
+        s.next_decision_point()
+        s.apply_decision(Decision.cold())
+        ctx = s.next_decision_point()
+        warm_id = ctx.idle_containers[0].container_id
+        pooled_before = len(s.pool.containers())
+        samples_before = len(s.telemetry.memory_timeline)
+        with pytest.raises(InvalidDecisionError):
+            s.apply_decision(Decision.warm(warm_id + 1))
+        assert len(s.pool.containers()) == pooled_before
+        assert len(s.telemetry.memory_timeline) == samples_before
+        # The warm container is still claimable after the failed attempt.
+        record = s.apply_decision(Decision.warm(warm_id))
+        assert record.container_id == warm_id
+        assert not record.cold_start
+
 
 class TestIncrementalAPI:
     def test_run_equals_incremental(self):

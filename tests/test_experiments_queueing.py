@@ -1,0 +1,52 @@
+"""Tests for the worker-concurrency queueing extension experiment."""
+
+import pytest
+
+from repro.experiments import queueing
+from repro.experiments.common import ExperimentScale
+
+
+MICRO = ExperimentScale(
+    repeats=1, train_episodes=1, demo_episodes=0, n_slots=6, model_dim=8,
+    fig11_pool_fractions=(1.0,), restarts=1,
+)
+
+
+class TestQueueingExperiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return queueing.run(MICRO, worker_counts=(1, 4),
+                            concurrency_limits=(1, 4))
+
+    def test_rows_complete(self, result):
+        assert len(result.rows) == 4  # 2 worker counts x 2 limits
+
+    def test_row_lookup(self, result):
+        row = result.row(4, 1)
+        assert row.n_workers == 4 and row.concurrency == 1
+        with pytest.raises(KeyError):
+            result.row(99, 1)
+
+    def test_tight_limit_queues_on_one_worker(self, result):
+        assert result.row(1, 1).mean_queueing_s > 0
+        assert result.row(1, 1).queued_starts > 0
+
+    def test_more_workers_reduce_latency_at_fixed_limit(self, result):
+        one = result.row(1, 1)
+        four = result.row(4, 1)
+        assert four.mean_startup_s < one.mean_startup_s
+        assert four.mean_queueing_s <= one.mean_queueing_s
+
+    def test_looser_limit_reduces_queueing(self, result):
+        tight = result.row(1, 1)
+        loose = result.row(1, 4)
+        assert loose.mean_queueing_s <= tight.mean_queueing_s
+
+    def test_utilization_bounded(self, result):
+        for row in result.rows:
+            assert 0.0 <= row.mean_utilization <= 1.0
+
+    def test_report_renders(self, result):
+        text = queueing.report(result)
+        assert "concurrency" in text and "workers" in text
+        assert "mean queueing" in text

@@ -64,6 +64,24 @@ class TestPrewarm:
         assert first.container_id not in sim.pool
         assert sim.telemetry.evictions == 1
 
+    def test_prewarm_samples_pool_memory(self):
+        # Regression: prewarm must leave a memory-timeline sample of the
+        # pool occupancy once the container lands, so prewarm-only
+        # experiments get accurate warm-memory traces.
+        sim = ClusterSimulator(
+            SimulationConfig(pool_capacity_mb=10_000.0), LRUEviction()
+        )
+        zygote = build_zygote_images(debian_python_specs())[0]
+        assert sim.telemetry.memory_timeline == []
+        sim.prewarm(zygote)
+        assert sim.telemetry.memory_timeline[-1] == (0.0, sim.pool.used_mb)
+        assert sim.telemetry.peak_warm_memory_mb == pytest.approx(
+            zygote.memory_mb
+        )
+        sim.prewarm(zygote)
+        assert sim.telemetry.memory_timeline[-1] == (0.0, sim.pool.used_mb)
+        assert sim.pool.used_mb == pytest.approx(2 * zygote.memory_mb)
+
 
 class TestZygoteScheduling:
     def _run(self, delta_pricing: bool):

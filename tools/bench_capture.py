@@ -33,6 +33,7 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 #: benchmarks train DRL policies and are deliberately excluded).
 DEFAULT_BENCHMARKS = (
     "benchmarks/bench_micro_substrates.py",
+    "benchmarks/bench_simulator_queueing.py",
     "benchmarks/bench_state_encoder.py",
 )
 

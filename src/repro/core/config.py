@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
+import numpy as np
+
 from repro.drl.dqn import DQNConfig
 
 
@@ -69,6 +71,11 @@ class MLCRConfig:
         queue depths) to the encoder's global segment.  Useful when
         training against a simulator with a finite ``worker_concurrency``;
         off by default so the historical state layout is unchanged.
+    dtype:
+        Compute/storage precision of the Q-networks, optimizer state and
+        replay buffer: ``"float32"`` (default -- the fast path; the
+        networks are small enough that float32 loses no training quality)
+        or ``"float64"`` (full precision, the historical behaviour).
     seed:
         Master seed for network init, exploration and replay sampling.
     """
@@ -95,7 +102,13 @@ class MLCRConfig:
     reward_scale: float = 0.1
     shaping_coef: float = 1.0
     load_features: bool = False
+    dtype: str = "float32"
     seed: int = 0
+
+    @property
+    def np_dtype(self) -> np.dtype:
+        """The configured precision as a numpy dtype."""
+        return np.dtype(self.dtype)
 
     def __post_init__(self) -> None:
         if self.n_slots < 1:
@@ -114,6 +127,8 @@ class MLCRConfig:
             raise ValueError("reward_scale must be positive")
         if self.shaping_coef < 0:
             raise ValueError("shaping_coef must be >= 0")
+        if self.dtype not in ("float32", "float64"):
+            raise ValueError("dtype must be 'float32' or 'float64'")
 
     @staticmethod
     def paper_scale() -> "MLCRConfig":

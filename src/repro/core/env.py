@@ -94,6 +94,25 @@ class SchedulingEnv:
         self._phi = 0.0
         self._stack_saving_cache: dict = {}
 
+    def spawn(self) -> "SchedulingEnv":
+        """A fresh environment over the same configuration.
+
+        The spawn gets its **own encoder clone** (arrival tracking and
+        demand features are per-episode state), so several spawns can run
+        episodes in lockstep -- the batched validation/demonstration
+        rollouts of :class:`~repro.core.trainer.MLCRTrainer` -- without
+        cross-contaminating each other's features.
+        """
+        return SchedulingEnv(
+            workload_factory=self.workload_factory,
+            sim_config=self.sim_config,
+            encoder=self.encoder.clone(),
+            eviction_factory=self.eviction_factory,
+            reward_scale=self.reward_scale,
+            shaping_coef=self.shaping_coef,
+            gamma=self.gamma,
+        )
+
     # -- episode control -----------------------------------------------------
     def reset(self, episode: Optional[int] = None) -> Optional[EncodedState]:
         """Start a new episode; returns the first decision point.

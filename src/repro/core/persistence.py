@@ -18,10 +18,14 @@ import numpy as np
 from repro.core.config import MLCRConfig
 from repro.core.mlcr import MLCRScheduler
 from repro.core.state import StateEncoder
+from repro.drl.attention import migrate_unfused_qkv_state
 from repro.drl.dqn import DQNAgent, DQNConfig
 from repro.drl.network import AttentionQNetwork, MLPQNetwork, QNetwork
 
-FORMAT_VERSION = 1
+#: Version 2 fuses each attention layer's Q/K/V projections into one
+#: ``(D, 3D)`` tensor and records the compute dtype.  Version-1 files (the
+#: unfused float64 layout) still load through the migration shim.
+FORMAT_VERSION = 2
 
 
 def _network_factory(cfg: MLCRConfig, encoder: StateEncoder):
@@ -41,6 +45,7 @@ def _network_factory(cfg: MLCRConfig, encoder: StateEncoder):
                 n_heads=cfg.n_heads,
                 n_blocks=cfg.n_blocks,
                 head_hidden=cfg.head_hidden,
+                dtype=cfg.np_dtype,
             )
         return MLPQNetwork(
             global_dim=encoder.global_dim,
@@ -48,6 +53,7 @@ def _network_factory(cfg: MLCRConfig, encoder: StateEncoder):
             n_slots=encoder.n_slots,
             rng=rng,
             hidden=cfg.model_dim * 2,
+            dtype=cfg.np_dtype,
         )
 
     return factory
@@ -77,6 +83,7 @@ def save_scheduler(
             "head_hidden": config.head_hidden,
             "use_attention": config.use_attention,
             "use_dueling": config.use_dueling,
+            "dtype": config.dtype,
             "seed": config.seed,
         },
     }
@@ -93,10 +100,9 @@ def load_scheduler(path: Union[str, Path]) -> MLCRScheduler:
     path = Path(path)
     with np.load(path, allow_pickle=False) as data:
         meta = json.loads(str(data["_meta"]))
-        if meta.get("format_version") != FORMAT_VERSION:
-            raise ValueError(
-                f"unsupported policy file version {meta.get('format_version')}"
-            )
+        version = meta.get("format_version")
+        if version not in (1, FORMAT_VERSION):
+            raise ValueError(f"unsupported policy file version {version}")
         state = {
             key[len("param_"):]: data[key]
             for key in data.files
@@ -111,6 +117,9 @@ def load_scheduler(path: Union[str, Path]) -> MLCRScheduler:
         head_hidden=cfg_meta["head_hidden"],
         use_attention=cfg_meta["use_attention"],
         use_dueling=cfg_meta.get("use_dueling", False),
+        # Version-1 checkpoints were trained in float64; keep serving them
+        # at full precision so their decisions are bit-identical.
+        dtype=cfg_meta.get("dtype", "float64"),
         seed=cfg_meta["seed"],
     )
     encoder = StateEncoder(
@@ -121,6 +130,9 @@ def load_scheduler(path: Union[str, Path]) -> MLCRScheduler:
         config=DQNConfig(),
         rng=np.random.default_rng(config.seed + 1),
     )
+    if version == 1:
+        # Old layout: separate w_q/w_k/w_v linears per attention layer.
+        state = migrate_unfused_qkv_state(state, agent.online)
     agent.online.load_state_dict(state)
     agent.sync_target()
     return MLCRScheduler(agent, encoder, use_mask=meta["use_mask"])

@@ -145,6 +145,22 @@ class StateEncoder:
     def action_dim(self) -> int:
         return self.n_slots + 1
 
+    def clone(self) -> "StateEncoder":
+        """A fresh encoder with the same configuration (and shared caches).
+
+        The clone has independent episode state (arrival tracking, demand
+        counters) but shares the immutable-valued bag-of-packages cache, so
+        lockstep rollouts do not re-derive package vectors per clone.
+        """
+        clone = StateEncoder(
+            n_slots=self.n_slots,
+            catalog=self.catalog,
+            mask_dominated=self.mask_dominated,
+            load_features=self.load_features,
+        )
+        clone._bag_cache = self._bag_cache
+        return clone
+
     # -- lifecycle ------------------------------------------------------------
     def reset(self) -> None:
         """Forget the previous arrivals (call at episode start)."""

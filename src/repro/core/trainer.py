@@ -21,8 +21,9 @@ mini-batch gradient steps.  Two practical additions over the bare algorithm:
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from typing import Callable, Deque, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -63,6 +64,21 @@ class TrainingHistory:
         return min(self.episode_latencies) if self.episode_latencies else float("nan")
 
 
+@dataclass
+class _Lane:
+    """One episode's live state inside a synchronized batched rollout."""
+
+    env: SchedulingEnv
+    kind: str                       # "eval" | "greedy" | "exact"
+    encoded: Optional[EncodedState]
+    total_reward: float = 0.0
+    total_latency: float = 0.0
+    cold_starts: int = 0
+    next_action: int = -1
+    # n-step accumulator: [state, action, [r_t, r_t+1, ...]] per entry.
+    window: Deque[list] = field(default_factory=deque)
+
+
 class MLCRTrainer:
     """Train a masked DQN scheduler on a workload distribution."""
 
@@ -88,6 +104,7 @@ class MLCRTrainer:
                 config.dqn.buffer_capacity,
                 self.agent.online.state_dim,
                 self.agent.online.action_dim,
+                dtype=config.np_dtype,
             )
         self.history = TrainingHistory()
         self._epsilon = LinearDecayEpsilon(
@@ -120,6 +137,7 @@ class MLCRTrainer:
                     n_heads=cfg.n_heads,
                     n_blocks=cfg.n_blocks,
                     head_hidden=cfg.head_hidden,
+                    dtype=cfg.np_dtype,
                 )
             return MLPQNetwork(
                 global_dim=enc.global_dim,
@@ -127,6 +145,7 @@ class MLCRTrainer:
                 n_slots=enc.n_slots,
                 rng=rng,
                 hidden=cfg.model_dim * 2,
+                dtype=cfg.np_dtype,
             )
 
         return factory
@@ -134,9 +153,12 @@ class MLCRTrainer:
     # -- training loop ------------------------------------------------------
     def train(self, verbose: bool = False) -> TrainingHistory:
         """Run demonstration seeding then the DQN episodes of Algorithm 1."""
-        for demo in range(self.config.demo_episodes):
-            kind = "greedy" if demo % 2 == 0 else "exact"
-            self._run_episode(policy=kind, learn=False, episode=demo)
+        if self.config.demo_episodes:
+            kinds = [
+                "greedy" if demo % 2 == 0 else "exact"
+                for demo in range(self.config.demo_episodes)
+            ]
+            self._run_episodes_batched(kinds, range(self.config.demo_episodes))
         best_snapshot = None
         for episode in range(self.config.n_episodes):
             ret, latency, colds = self._run_episode(
@@ -166,14 +188,88 @@ class MLCRTrainer:
         return self.history
 
     def _validate(self) -> float:
-        """Greedy-policy rollouts on held-out validation workloads."""
-        latencies = []
-        for i in range(max(1, self.config.eval_episodes)):
-            _, latency, _ = self._run_episode(
-                policy="eval", learn=False, episode=EVAL_EPISODE_BASE + i
-            )
-            latencies.append(latency)
-        return float(np.mean(latencies))
+        """Greedy-policy rollouts on held-out validation workloads.
+
+        The validation episodes run as one synchronized batch: each step is
+        a single ``(E, state_dim)`` forward instead of ``E`` batch-1
+        forwards (see :meth:`_run_episodes_batched`).
+        """
+        n = max(1, self.config.eval_episodes)
+        results = self._run_episodes_batched(
+            ["eval"] * n, [EVAL_EPISODE_BASE + i for i in range(n)]
+        )
+        return float(np.mean([latency for _, latency, _ in results]))
+
+    # -- batched rollouts ---------------------------------------------------
+    def _run_episodes_batched(
+        self, kinds: Sequence[str], episodes: Sequence[int]
+    ) -> List[Tuple[float, float, int]]:
+        """Run several no-learning episodes in lockstep.
+
+        Each episode gets its own environment/encoder (via
+        :meth:`~repro.core.env.SchedulingEnv.spawn`) so arrival tracking
+        stays per-episode.  All ``"eval"`` lanes that are still alive share
+        one batched greedy forward per step; demonstration lanes
+        (``"greedy"`` / ``"exact"``) act heuristically and store their
+        transitions exactly as the sequential path does.  Returns
+        ``(return, latency, cold_starts)`` per episode, in input order.
+        """
+        gamma = self.config.dqn.gamma
+        n_step = self.config.n_step
+        lanes = []
+        for kind, episode in zip(kinds, episodes):
+            env = self.env.spawn()
+            lanes.append(_Lane(env=env, kind=kind, encoded=env.reset(episode)))
+        active = [lane for lane in lanes if lane.encoded is not None]
+        for lane in lanes:
+            if lane.encoded is None:
+                lane.env.finish()
+        while active:
+            eval_lanes = [lane for lane in active if lane.kind == "eval"]
+            if eval_lanes:
+                states = np.stack([lane.encoded.state for lane in eval_lanes])
+                masks = np.stack(
+                    [self._training_mask(lane.encoded) for lane in eval_lanes]
+                )
+                for lane, action in zip(
+                    eval_lanes, self.agent.act_batch(states, masks)
+                ):
+                    lane.next_action = int(action)
+            still_active = []
+            for lane in active:
+                is_eval = lane.kind == "eval"
+                action = (
+                    lane.next_action if is_eval
+                    else self._demo_action(lane.encoded, lane.kind)
+                )
+                result = lane.env.step(action, lane.encoded)
+                lane.total_reward += result.reward
+                lane.total_latency += result.startup_latency_s
+                lane.cold_starts += int(result.cold_start)
+                if not is_eval:
+                    for entry in lane.window:
+                        entry[2].append(result.reward)
+                    lane.window.append([lane.encoded, action, [result.reward]])
+                    if (
+                        result.state is not None
+                        and len(lane.window[0][2]) >= n_step
+                    ):
+                        self._emit(lane.window.popleft(), result.state, gamma,
+                                   done=False)
+                    self._global_step += 1
+                lane.encoded = result.state
+                if lane.encoded is None:
+                    if not is_eval:
+                        for entry in lane.window:
+                            self._emit(entry, None, gamma, done=True)
+                    lane.env.finish()
+                else:
+                    still_active.append(lane)
+            active = still_active
+        return [
+            (lane.total_reward, lane.total_latency, lane.cold_starts)
+            for lane in lanes
+        ]
 
     # -- episode rollout -------------------------------------------------------
     def _run_episode(self, policy: str, learn: bool, episode: int):
@@ -185,8 +281,10 @@ class MLCRTrainer:
         cold_starts = 0
         gamma = self.config.dqn.gamma
         n_step = self.config.n_step
-        # n-step accumulator: [state, action, [r_t, r_t+1, ...]].
-        window: List[list] = []
+        # n-step accumulator: [state, action, [r_t, r_t+1, ...]].  A deque:
+        # the ready transition pops from the left in O(1) instead of the
+        # O(n) list ``pop(0)``.
+        window: Deque[list] = deque()
 
         while encoded is not None:
             action = self._choose_action(encoded, demo_kind, is_eval)
@@ -202,7 +300,7 @@ class MLCRTrainer:
                 entry[2].append(result.reward)
             window.append([encoded, action, [result.reward]])
             if result.state is not None and len(window[0][2]) >= n_step:
-                self._emit(window.pop(0), result.state, gamma, done=False)
+                self._emit(window.popleft(), result.state, gamma, done=False)
 
             if learn and self._global_step % self.config.train_every == 0:
                 loss = self.agent.train_step()

@@ -82,8 +82,14 @@ class DQNAgent:
         self.online = network_factory()
         self.target = network_factory()
         self.target.copy_from(self.online)
+        # The target network only ever runs forward passes for TD targets:
+        # keep it permanently in inference mode (no activation caching).
+        self.target.train(False)
         self.buffer = ReplayBuffer(
-            config.buffer_capacity, self.online.state_dim, self.online.action_dim
+            config.buffer_capacity,
+            self.online.state_dim,
+            self.online.action_dim,
+            dtype=getattr(self.online, "dtype", np.float64),
         )
         self.optimizer = Adam(self.online.parameters(), lr=config.lr)
         self.train_steps = 0
@@ -95,8 +101,9 @@ class DQNAgent:
         return self.online.action_dim
 
     def q_values(self, state: np.ndarray) -> np.ndarray:
-        """Online-network Q-values for a single state."""
-        return self.online.forward(state[None, :])[0]
+        """Online-network Q-values for a single state (no caching)."""
+        with self.online.inference():
+            return self.online.forward(state[None, :])[0]
 
     def act(self, state: np.ndarray, mask: np.ndarray, epsilon: float) -> int:
         """Epsilon-greedy masked action selection."""
@@ -111,6 +118,38 @@ class DQNAgent:
             return int(self.rng.choice(valid))
         q = self.q_values(state)
         return int(masked_argmax(q[None, :], mask[None, :])[0])
+
+    def act_batch(
+        self,
+        states: np.ndarray,
+        masks: np.ndarray,
+        epsilon: float = 0.0,
+    ) -> np.ndarray:
+        """Epsilon-greedy masked actions for a batch of independent states.
+
+        One ``(E, state_dim)`` inference-mode forward replaces ``E``
+        batch-1 forwards -- the fast path for synchronized greedy rollouts
+        (validation and demonstration episodes).  Returns an ``(E,)`` array
+        of action indices.
+        """
+        states = np.asarray(states)
+        masks = np.asarray(masks, dtype=bool)
+        if states.ndim != 2 or masks.shape != (len(states), self.action_dim):
+            raise ValueError(
+                f"expected states (E, {self.online.state_dim}) and masks "
+                f"(E, {self.action_dim}), got {states.shape} / {masks.shape}"
+            )
+        if not masks.any(axis=-1).all():
+            raise ValueError("every row needs at least one valid action")
+        self.act_steps += len(states)
+        with self.online.inference():
+            q = self.online.forward(states)
+        actions = masked_argmax(q, masks)
+        if epsilon > 0.0:
+            explore = self.rng.random(len(states)) < epsilon
+            for row in np.flatnonzero(explore):
+                actions[row] = int(self.rng.choice(np.flatnonzero(masks[row])))
+        return actions
 
     # -- learning -----------------------------------------------------------
     def remember(self, transition: Transition) -> None:
@@ -161,7 +200,10 @@ class DQNAgent:
         next_q_target = self.target.forward(batch["next_states"])
         masks = batch["next_masks"]
         if cfg.double_dqn:
-            next_q_online = self.online.forward(batch["next_states"])
+            # Action selection only -- no backward pass follows, so the
+            # online forward runs in inference mode (no caching).
+            with self.online.inference():
+                next_q_online = self.online.forward(batch["next_states"])
             best = masked_argmax(next_q_online, masks)
         else:
             best = masked_argmax(next_q_target, masks)

@@ -3,13 +3,26 @@
 Layers operate on the *last* axis of their input, so the same ``Linear``
 works for flat ``(batch, features)`` and token ``(batch, tokens, features)``
 tensors.  Each layer caches what its backward pass needs during forward and
-releases it after backward.  float64 throughout: the networks are small, and
-full precision keeps the numerical gradient checks tight.
+releases it after backward.
+
+Two performance knobs thread through every layer:
+
+* **dtype** -- parameters and activations are stored/computed in a caller
+  chosen precision.  The MLCR training/serving pipeline runs float32 (the
+  networks are small and float32 halves memory traffic, roughly doubling
+  matmul throughput on CPU); the layer-level default stays float64 so the
+  numerical gradient checks in the test suite remain tight.
+* **inference mode** -- ``module.train(False)`` (or the ``inference()``
+  context manager) skips all activation caching: forwards that will never
+  be backpropagated (greedy acting, target-network evaluation, validation
+  rollouts) pay for arithmetic only.  Inference-mode forwards compute the
+  exact same arithmetic and are bitwise-equal to training-mode forwards.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+import contextlib
+from typing import Dict, Iterator, List, Optional, Sequence
 
 import numpy as np
 
@@ -19,8 +32,10 @@ class Parameter:
 
     __slots__ = ("value", "grad", "name")
 
-    def __init__(self, value: np.ndarray, name: str = "") -> None:
-        self.value = np.asarray(value, dtype=np.float64)
+    def __init__(
+        self, value: np.ndarray, name: str = "", dtype: np.dtype = np.float64
+    ) -> None:
+        self.value = np.asarray(value, dtype=dtype)
         self.grad = np.zeros_like(self.value)
         self.name = name
 
@@ -37,10 +52,37 @@ class Parameter:
 
 
 class Module:
-    """Base class: ``forward`` caches, ``backward`` consumes the cache."""
+    """Base class: ``forward`` caches, ``backward`` consumes the cache.
+
+    ``training`` gates the caching: in inference mode (``train(False)`` or
+    the ``inference()`` context manager) forwards skip the cache entirely.
+    """
+
+    #: Class-level default; ``train()`` overrides it per instance.
+    training: bool = True
+
+    def _submodules(self) -> Iterator["Module"]:
+        """Direct child modules (attributes and list/tuple attributes)."""
+        for attr in vars(self).values():
+            if isinstance(attr, Module):
+                yield attr
+            elif isinstance(attr, (list, tuple)):
+                for item in attr:
+                    if isinstance(item, Module):
+                        yield item
 
     def parameters(self) -> List[Parameter]:
-        """All trainable parameters (collected recursively)."""
+        """All trainable parameters (collected recursively, then cached).
+
+        The module tree is static after construction in this framework, so
+        the first collection is memoized -- per-step callers (``zero_grad``
+        in the training loop) avoid re-walking the tree.  Code that adds
+        parameters after the first collection must call
+        :meth:`invalidate_parameter_cache`.
+        """
+        cached = self.__dict__.get("_param_cache")
+        if cached is not None:
+            return cached
         params: List[Parameter] = []
         for attr in vars(self).values():
             if isinstance(attr, Parameter):
@@ -51,12 +93,54 @@ class Module:
                 for item in attr:
                     if isinstance(item, Module):
                         params.extend(item.parameters())
+        self.__dict__["_param_cache"] = params
         return params
+
+    def _all_modules(self) -> List["Module"]:
+        """This module plus every descendant, flattened (and memoized).
+
+        ``train()`` flips the mode on every act/eval boundary; walking the
+        tree each time (isinstance checks over all attributes) costs more
+        than a small forward pass, so the flat list is cached alongside the
+        parameter list.
+        """
+        cached = self.__dict__.get("_module_cache")
+        if cached is not None:
+            return cached
+        modules: List["Module"] = [self]
+        for child in self._submodules():
+            modules.extend(child._all_modules())
+        self.__dict__["_module_cache"] = modules
+        return modules
+
+    def invalidate_parameter_cache(self) -> None:
+        """Drop memoized parameter/module lists (recursively) after edits."""
+        self.__dict__.pop("_param_cache", None)
+        self.__dict__.pop("_module_cache", None)
+        for child in self._submodules():
+            child.invalidate_parameter_cache()
 
     def zero_grad(self) -> None:
         """Zero every accumulated gradient."""
         for p in self.parameters():
             p.zero_grad()
+
+    # -- train / inference mode ---------------------------------------------
+    def train(self, mode: bool = True) -> "Module":
+        """Set training mode (``True``: forwards cache for backward)."""
+        for module in self._all_modules():
+            module.training = mode
+        return self
+
+    @contextlib.contextmanager
+    def inference(self):
+        """Context manager: run forwards without activation caching."""
+        prev = self.training
+        self.train(False)
+        try:
+            yield self
+        finally:
+            self.train(prev)
 
     def forward(self, x: np.ndarray) -> np.ndarray:  # pragma: no cover - abstract
         """Forward pass; caches what backward() needs."""
@@ -113,15 +197,17 @@ class Linear(Module):
         rng: np.random.Generator,
         bias: bool = True,
         name: str = "linear",
+        dtype: np.dtype = np.float64,
     ) -> None:
         if in_features < 1 or out_features < 1:
             raise ValueError("features must be positive")
         self.in_features = in_features
         self.out_features = out_features
         self.weight = Parameter(glorot_init(rng, in_features, out_features),
-                                f"{name}.weight")
+                                f"{name}.weight", dtype=dtype)
         self.bias: Optional[Parameter] = (
-            Parameter(np.zeros(out_features), f"{name}.bias") if bias else None
+            Parameter(np.zeros(out_features), f"{name}.bias", dtype=dtype)
+            if bias else None
         )
         self._x: Optional[np.ndarray] = None
 
@@ -131,7 +217,8 @@ class Linear(Module):
             raise ValueError(
                 f"expected last dim {self.in_features}, got {x.shape[-1]}"
             )
-        self._x = x
+        if self.training:
+            self._x = x
         y = x @ self.weight.value
         if self.bias is not None:
             y = y + self.bias.value
@@ -159,8 +246,10 @@ class ReLU(Module):
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         """Forward pass; caches what backward() needs."""
-        self._mask = x > 0
-        return np.where(self._mask, x, 0.0)
+        mask = x > 0
+        if self.training:
+            self._mask = mask
+        return np.where(mask, x, 0.0)
 
     def backward(self, grad: np.ndarray) -> np.ndarray:
         """Backward pass; consumes the forward cache, accumulates grads."""
@@ -173,11 +262,17 @@ class ReLU(Module):
 class LayerNorm(Module):
     """Layer normalization over the last axis with learnable gain/shift."""
 
-    def __init__(self, dim: int, eps: float = 1e-5, name: str = "ln") -> None:
+    def __init__(
+        self,
+        dim: int,
+        eps: float = 1e-5,
+        name: str = "ln",
+        dtype: np.dtype = np.float64,
+    ) -> None:
         self.dim = dim
         self.eps = eps
-        self.gamma = Parameter(np.ones(dim), f"{name}.gamma")
-        self.beta = Parameter(np.zeros(dim), f"{name}.beta")
+        self.gamma = Parameter(np.ones(dim), f"{name}.gamma", dtype=dtype)
+        self.beta = Parameter(np.zeros(dim), f"{name}.beta", dtype=dtype)
         self._cache = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
@@ -188,7 +283,8 @@ class LayerNorm(Module):
         var = x.var(axis=-1, keepdims=True)
         inv_std = 1.0 / np.sqrt(var + self.eps)
         x_hat = (x - mean) * inv_std
-        self._cache = (x_hat, inv_std)
+        if self.training:
+            self._cache = (x_hat, inv_std)
         return self.gamma.value * x_hat + self.beta.value
 
     def backward(self, grad: np.ndarray) -> np.ndarray:
@@ -202,7 +298,6 @@ class LayerNorm(Module):
         self.gamma.grad += (grad * x_hat).sum(axis=reduce_axes)
         self.beta.grad += grad.sum(axis=reduce_axes)
         g = grad * self.gamma.value
-        n = self.dim
         # d/dx of layer norm (standard closed form).
         return inv_std * (
             g

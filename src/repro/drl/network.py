@@ -60,6 +60,9 @@ class AttentionQNetwork(QNetwork):
         Attention layers (paper: 2).
     head_hidden:
         Hidden width of the Q read-out heads.
+    dtype:
+        Compute/storage precision.  The MLCR pipeline passes float32 (the
+        fast path); the default stays float64 for tight gradient checks.
     """
 
     def __init__(
@@ -72,6 +75,7 @@ class AttentionQNetwork(QNetwork):
         n_heads: int = 2,
         n_blocks: int = 2,
         head_hidden: int = 64,
+        dtype: np.dtype = np.float64,
     ) -> None:
         if n_slots < 1:
             raise ValueError("need at least one container slot")
@@ -79,25 +83,31 @@ class AttentionQNetwork(QNetwork):
         self.slot_dim = slot_dim
         self.n_slots = n_slots
         self.model_dim = model_dim
+        self.dtype = np.dtype(dtype)
         self.state_dim = global_dim + n_slots * slot_dim
         self.action_dim = n_slots + 1
 
-        self.global_embed = Linear(global_dim, model_dim, rng, name="embed.global")
-        self.slot_embed = Linear(slot_dim, model_dim, rng, name="embed.slot")
+        self.global_embed = Linear(global_dim, model_dim, rng,
+                                   name="embed.global", dtype=dtype)
+        self.slot_embed = Linear(slot_dim, model_dim, rng, name="embed.slot",
+                                 dtype=dtype)
         self.blocks = [
-            AttentionBlock(model_dim, n_heads, rng, name=f"block{i}")
+            AttentionBlock(model_dim, n_heads, rng, name=f"block{i}",
+                           dtype=dtype)
             for i in range(n_blocks)
         ]
-        self.out_norm = LayerNorm(model_dim, name="out.ln")
+        self.out_norm = LayerNorm(model_dim, name="out.ln", dtype=dtype)
         self.slot_head = Sequential(
-            Linear(model_dim, head_hidden, rng, name="head.slot.0"),
+            Linear(model_dim, head_hidden, rng, name="head.slot.0",
+                   dtype=dtype),
             ReLU(),
-            Linear(head_hidden, 1, rng, name="head.slot.1"),
+            Linear(head_hidden, 1, rng, name="head.slot.1", dtype=dtype),
         )
         self.cold_head = Sequential(
-            Linear(model_dim, head_hidden, rng, name="head.cold.0"),
+            Linear(model_dim, head_hidden, rng, name="head.cold.0",
+                   dtype=dtype),
             ReLU(),
-            Linear(head_hidden, 1, rng, name="head.cold.1"),
+            Linear(head_hidden, 1, rng, name="head.cold.1", dtype=dtype),
         )
         self._batch: Optional[int] = None
 
@@ -108,6 +118,8 @@ class AttentionQNetwork(QNetwork):
             raise ValueError(
                 f"expected (batch, {self.state_dim}), got {states.shape}"
             )
+        if states.dtype != self.dtype:
+            states = states.astype(self.dtype)
         global_part = states[:, : self.global_dim]
         slot_part = states[:, self.global_dim :].reshape(
             states.shape[0], self.n_slots, self.slot_dim
@@ -119,7 +131,8 @@ class AttentionQNetwork(QNetwork):
         """Forward pass; caches what backward() needs."""
         global_part, slot_part = self.split_state(states)
         b = states.shape[0]
-        self._batch = b
+        if self.training:
+            self._batch = b
         g_tok = self.global_embed.forward(global_part)[:, None, :]
         s_tok = self.slot_embed.forward(slot_part)
         tokens = np.concatenate([g_tok, s_tok], axis=1)  # (B, n+1, D)
@@ -139,7 +152,8 @@ class AttentionQNetwork(QNetwork):
             raise ValueError(f"expected grad shape {(b, self.action_dim)}")
         d_slot_q = grad[:, : self.n_slots, None]     # (B, n, 1)
         d_cold_q = grad[:, self.n_slots :]           # (B, 1)
-        d_tokens = np.zeros((b, self.n_slots + 1, self.model_dim))
+        d_tokens = np.zeros((b, self.n_slots + 1, self.model_dim),
+                            dtype=self.dtype)
         d_tokens[:, 1:, :] = self.slot_head.backward(d_slot_q)
         d_tokens[:, 0, :] = self.cold_head.backward(d_cold_q)
         d_tokens = self.out_norm.backward(d_tokens)
@@ -168,18 +182,20 @@ class DuelingAttentionQNetwork(AttentionQNetwork):
         rng = np.random.default_rng(0)
         self.value_head = Sequential(
             Linear(self.model_dim, kwargs.get("head_hidden", 64), rng,
-                   name="head.value.0"),
+                   name="head.value.0", dtype=self.dtype),
             ReLU(),
             Linear(kwargs.get("head_hidden", 64), 1, rng,
-                   name="head.value.1"),
+                   name="head.value.1", dtype=self.dtype),
         )
+        self.invalidate_parameter_cache()
         self._dueling_cache = None
 
     def forward(self, states: np.ndarray) -> np.ndarray:
         """Forward pass: ``Q = V + A - mean(A)`` over the attention trunk."""
         global_part, slot_part = self.split_state(states)
         b = states.shape[0]
-        self._batch = b
+        if self.training:
+            self._batch = b
         g_tok = self.global_embed.forward(global_part)[:, None, :]
         s_tok = self.slot_embed.forward(slot_part)
         tokens = np.concatenate([g_tok, s_tok], axis=1)
@@ -190,7 +206,8 @@ class DuelingAttentionQNetwork(AttentionQNetwork):
         adv_cold = self.cold_head.forward(tokens[:, 0, :])
         value = self.value_head.forward(tokens[:, 0, :])     # (B, 1)
         adv = np.concatenate([adv_slots, adv_cold], axis=1)  # (B, A)
-        self._dueling_cache = adv.shape[1]
+        if self.training:
+            self._dueling_cache = adv.shape[1]
         return value + adv - adv.mean(axis=1, keepdims=True)
 
     def backward(self, grad: np.ndarray) -> np.ndarray:
@@ -203,7 +220,8 @@ class DuelingAttentionQNetwork(AttentionQNetwork):
         d_value = grad.sum(axis=1, keepdims=True)                 # (B, 1)
         d_adv = grad - grad.sum(axis=1, keepdims=True) / k        # (B, A)
 
-        d_tokens = np.zeros((b, self.n_slots + 1, self.model_dim))
+        d_tokens = np.zeros((b, self.n_slots + 1, self.model_dim),
+                            dtype=self.dtype)
         d_tokens[:, 1:, :] = self.slot_head.backward(
             d_adv[:, : self.n_slots, None]
         )
@@ -231,18 +249,23 @@ class MLPQNetwork(QNetwork):
         rng: np.random.Generator,
         hidden: int = 128,
         n_hidden_layers: int = 2,
+        dtype: np.dtype = np.float64,
     ) -> None:
         if n_hidden_layers < 1:
             raise ValueError("need at least one hidden layer")
         self.global_dim = global_dim
         self.slot_dim = slot_dim
         self.n_slots = n_slots
+        self.dtype = np.dtype(dtype)
         self.state_dim = global_dim + n_slots * slot_dim
         self.action_dim = n_slots + 1
-        layers = [Linear(self.state_dim, hidden, rng, name="mlp.0"), ReLU()]
+        layers = [Linear(self.state_dim, hidden, rng, name="mlp.0",
+                         dtype=dtype), ReLU()]
         for i in range(1, n_hidden_layers):
-            layers += [Linear(hidden, hidden, rng, name=f"mlp.{i}"), ReLU()]
-        layers.append(Linear(hidden, self.action_dim, rng, name="mlp.out"))
+            layers += [Linear(hidden, hidden, rng, name=f"mlp.{i}",
+                              dtype=dtype), ReLU()]
+        layers.append(Linear(hidden, self.action_dim, rng, name="mlp.out",
+                             dtype=dtype))
         self.net = Sequential(*layers)
 
     def forward(self, states: np.ndarray) -> np.ndarray:
@@ -251,6 +274,8 @@ class MLPQNetwork(QNetwork):
             raise ValueError(
                 f"expected (batch, {self.state_dim}), got {states.shape}"
             )
+        if states.dtype != self.dtype:
+            states = states.astype(self.dtype)
         return self.net.forward(states)
 
     def backward(self, grad: np.ndarray) -> np.ndarray:

@@ -1,4 +1,11 @@
-"""Gradient-descent optimizers."""
+"""Gradient-descent optimizers.
+
+Optimizer state (momentum / Adam moments) is allocated with
+``np.zeros_like`` on the parameter values, so it automatically follows the
+network's compute dtype: a float32 network gets float32 optimizer state and
+the whole update step stays in float32 (scalar coefficients are Python
+floats, which numpy's weak promotion keeps at the array dtype).
+"""
 
 from __future__ import annotations
 
@@ -32,7 +39,10 @@ class Optimizer(abc.ABC):
 
     def clip_grad_norm(self, max_norm: float) -> float:
         """Globally rescale gradients to at most ``max_norm``; returns norm."""
-        total = np.sqrt(sum(float(np.sum(p.grad**2)) for p in self.params))
+        # Flat dot products: no squared-gradient temporaries on the hot path.
+        total = np.sqrt(sum(
+            float(np.dot(g, g)) for g in (p.grad.ravel() for p in self.params)
+        ))
         if total > max_norm and total > 0:
             scale = max_norm / total
             for p in self.params:
@@ -88,11 +98,12 @@ class Adam(Optimizer):
         b1, b2 = self.beta1, self.beta2
         bias1 = 1.0 - b1**self._t
         bias2 = 1.0 - b2**self._t
+        scale = self.lr / bias1
         for p, m, v in zip(self.params, self._m, self._v):
             m *= b1
             m += (1 - b1) * p.grad
             v *= b2
             v += (1 - b2) * p.grad**2
-            m_hat = m / bias1
-            v_hat = v / bias2
-            p.value -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+            denom = np.sqrt(v / bias2)
+            denom += self.eps
+            p.value -= scale * m / denom

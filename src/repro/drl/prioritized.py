@@ -93,8 +93,9 @@ class PrioritizedReplayBuffer(ReplayBuffer):
         alpha: float = 0.6,
         beta: float = 0.4,
         epsilon: float = 1e-3,
+        dtype: np.dtype = np.float64,
     ) -> None:
-        super().__init__(capacity, state_dim, action_dim)
+        super().__init__(capacity, state_dim, action_dim, dtype=dtype)
         if not 0.0 <= alpha <= 1.0:
             raise ValueError("alpha must be in [0, 1]")
         if not 0.0 <= beta <= 1.0:

@@ -33,18 +33,30 @@ class Transition:
 
 
 class ReplayBuffer:
-    """Uniform-sampling ring buffer of transitions."""
+    """Uniform-sampling ring buffer of transitions.
 
-    def __init__(self, capacity: int, state_dim: int, action_dim: int) -> None:
+    ``dtype`` sets the storage precision of states and rewards; matching it
+    to the Q-network's compute dtype (float32 on the fast path) halves the
+    buffer's memory footprint and avoids a cast on every sampled batch.
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        state_dim: int,
+        action_dim: int,
+        dtype: np.dtype = np.float64,
+    ) -> None:
         if capacity < 1 or state_dim < 1 or action_dim < 1:
             raise ValueError("capacity, state_dim and action_dim must be >= 1")
         self.capacity = capacity
         self.state_dim = state_dim
         self.action_dim = action_dim
-        self._states = np.zeros((capacity, state_dim), dtype=np.float64)
+        self.dtype = np.dtype(dtype)
+        self._states = np.zeros((capacity, state_dim), dtype=self.dtype)
         self._actions = np.zeros(capacity, dtype=np.int64)
-        self._rewards = np.zeros(capacity, dtype=np.float64)
-        self._next_states = np.zeros((capacity, state_dim), dtype=np.float64)
+        self._rewards = np.zeros(capacity, dtype=self.dtype)
+        self._next_states = np.zeros((capacity, state_dim), dtype=self.dtype)
         self._next_masks = np.zeros((capacity, action_dim), dtype=bool)
         self._dones = np.zeros(capacity, dtype=bool)
         self._n_steps = np.ones(capacity, dtype=np.int64)
@@ -60,8 +72,8 @@ class ReplayBuffer:
 
     def add(self, transition: Transition) -> None:
         """Append a transition, overwriting the oldest when full."""
-        state = np.asarray(transition.state, dtype=np.float64)
-        next_state = np.asarray(transition.next_state, dtype=np.float64)
+        state = np.asarray(transition.state, dtype=self.dtype)
+        next_state = np.asarray(transition.next_state, dtype=self.dtype)
         next_mask = np.asarray(transition.next_mask, dtype=bool)
         if state.shape != (self.state_dim,) or next_state.shape != (self.state_dim,):
             raise ValueError("state dimensionality mismatch")

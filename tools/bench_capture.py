@@ -32,6 +32,7 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 #: Benchmarks fast enough to re-run on every capture (the figure-level
 #: benchmarks train DRL policies and are deliberately excluded).
 DEFAULT_BENCHMARKS = (
+    "benchmarks/bench_drl_engine.py",
     "benchmarks/bench_micro_substrates.py",
     "benchmarks/bench_simulator_queueing.py",
     "benchmarks/bench_state_encoder.py",

@@ -11,6 +11,10 @@ Commands
 ``experiment``
     Run a paper experiment by id (fig1, fig2, fig3, tab2, fig8, fig9,
     fig10, fig11a/b/c, overhead, ablations) and print its report.
+``trace``
+    Golden-trace tooling: ``record`` a decision trace for one
+    (workload, scheduler, seed, pool) cell, ``replay`` a trace file and
+    fail on any divergence, or ``diff`` two trace files.
 """
 
 from __future__ import annotations
@@ -182,6 +186,48 @@ def cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_trace(args: argparse.Namespace) -> int:
+    """``repro trace``: record / replay / diff simulator decision traces."""
+    from repro.verify.trace import (
+        TraceSpec,
+        diff_traces,
+        read_trace,
+        record_trace,
+        replay_trace,
+        write_trace,
+    )
+
+    if args.action == "record":
+        trace = record_trace(TraceSpec(
+            workload=args.workload,
+            scheduler=args.scheduler,
+            seed=args.seed,
+            pool=args.pool.capitalize(),
+            verify=args.verify,
+        ))
+        path = write_trace(trace, args.output)
+        print(f"recorded {trace.header.n_events} events to {path}")
+        return 0
+    if args.action == "replay":
+        expected = read_trace(args.trace)
+        actual = replay_trace(expected, verify=args.verify)
+        divergence = diff_traces(expected, actual)
+        if divergence is not None:
+            print(divergence)
+            return 1
+        print(f"{args.trace}: replayed {expected.header.n_events} events, "
+              "bit-identical")
+        return 0
+    # diff
+    divergence = diff_traces(read_trace(args.expected),
+                             read_trace(args.actual))
+    if divergence is not None:
+        print(divergence)
+        return 1
+    print("traces identical")
+    return 0
+
+
 # ---------------------------------------------------------------------------
 # Parser
 # ---------------------------------------------------------------------------
@@ -228,6 +274,35 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("experiment", help="run a paper experiment")
     p.add_argument("id", choices=_EXPERIMENTS)
     p.set_defaults(func=cmd_experiment)
+
+    p = sub.add_parser("trace",
+                       help="record / replay / diff decision traces")
+    trace_sub = p.add_subparsers(dest="action", required=True)
+
+    t = trace_sub.add_parser("record", help="record one cell's trace")
+    t.add_argument("--workload", default="LO-Sim",
+                   choices=sorted(WORKLOAD_BUILDERS))
+    t.add_argument("--scheduler", default="lru",
+                   choices=sorted(_SCHEDULERS))
+    t.add_argument("--pool", default="tight",
+                   choices=["tight", "moderate", "loose"])
+    t.add_argument("--seed", type=int, default=0)
+    t.add_argument("--output", default="trace.jsonl")
+    t.add_argument("--verify", action="store_true",
+                   help="attach the invariant monitors while recording")
+    t.set_defaults(func=cmd_trace)
+
+    t = trace_sub.add_parser(
+        "replay", help="re-run a trace's cell and fail on divergence")
+    t.add_argument("trace", help="trace file to replay")
+    t.add_argument("--verify", action="store_true",
+                   help="attach the invariant monitors while replaying")
+    t.set_defaults(func=cmd_trace)
+
+    t = trace_sub.add_parser("diff", help="diff two trace files")
+    t.add_argument("expected")
+    t.add_argument("actual")
+    t.set_defaults(func=cmd_trace)
     return parser
 
 

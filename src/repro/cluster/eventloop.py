@@ -42,12 +42,22 @@ class EventLoop:
         Optional callable invoked with the current time after every clock
         advance (i.e. once per popped event).  The cluster simulator
         installs the container-lifecycle TTL sweep here.
+    observer:
+        Optional callable ``(kind, time)`` notified on every ``"schedule"``
+        (with the event's time) and every ``"advance"`` (with the new clock
+        reading).  The verification harness installs its clock-monotonicity
+        monitor here; ``None`` (the default) keeps the loop observer-free.
     """
 
-    def __init__(self, sweep: Optional[Callable[[float], None]] = None) -> None:
+    def __init__(
+        self,
+        sweep: Optional[Callable[[float], None]] = None,
+        observer: Optional[Callable[[str, float], None]] = None,
+    ) -> None:
         self.clock = SimulationClock()
         self._queue = EventQueue()
         self._sweep = sweep
+        self._observer = observer
 
     @property
     def now(self) -> float:
@@ -56,6 +66,8 @@ class EventLoop:
 
     def schedule(self, time: float, kind: EventKind, payload: Any = None) -> Event:
         """Queue an event at ``time``; returns the created event."""
+        if self._observer is not None:
+            self._observer("schedule", time)
         return self._queue.push(time, kind, payload)
 
     def pop_next(self) -> Optional[Event]:
@@ -68,6 +80,8 @@ class EventLoop:
             return None
         event = self._queue.pop()
         self.clock.advance_to(event.time)
+        if self._observer is not None:
+            self._observer("advance", self.clock.now)
         if self._sweep is not None:
             self._sweep(self.clock.now)
         return event

@@ -54,6 +54,7 @@ class ContainerLifecycle:
         placement: PlacementEngine,
         faults: FaultConfig,
         per_worker_pools: bool = False,
+        monitor=None,
     ) -> None:
         self.pool = pool
         self.eviction = eviction
@@ -67,6 +68,15 @@ class ContainerLifecycle:
         self._container_ids = itertools.count(1)
         self._live: Dict[int, Container] = {}
         self.live_memory_mb = 0.0
+        # Lifetime counters backing the conservation invariant
+        # (created == pooled + running + destroyed); two int increments per
+        # container, cheap enough to maintain unconditionally.
+        self.created_count = 0
+        self.destroyed_count = 0
+        # Optional repro.verify.VerificationHarness receiving destroy /
+        # TTL-expiry notifications; None (the default) costs one is-None
+        # test on those paths.
+        self._monitor = monitor
 
     # -- creation -----------------------------------------------------------
     def create(
@@ -91,11 +101,14 @@ class ContainerLifecycle:
         if idle:
             container.state = ContainerState.IDLE
         self._live[container.container_id] = container
+        self.created_count += 1
         self.live_memory_mb += container.memory_mb
         self.placement.place(container.container_id, container.memory_mb, now)
         self.cleaner.initial_mount(container, function_name)
         if idle:
             container.current_function = function_name
+        if self._monitor is not None:
+            self._monitor.notify("create", container=container)
         return container
 
     def live_containers(self) -> Dict[int, Container]:
@@ -177,6 +190,10 @@ class ContainerLifecycle:
         # expiry pops only the actually-expired heads (O(expired + shards)
         # per event instead of an O(pool) scan).
         expired = self.pool.expire_older_than(now - ttl)
+        if self._monitor is not None and expired:
+            self._monitor.notify(
+                "ttl_expired", now=now, ttl=ttl, containers=expired
+            )
         for container in expired:
             self.destroy(container)
             self.telemetry.record_ttl_expiration()
@@ -188,9 +205,12 @@ class ContainerLifecycle:
         if container.state is not ContainerState.EVICTED:
             container.evict()
         if self._live.pop(container.container_id, None) is not None:
+            self.destroyed_count += 1
             self.live_memory_mb = max(
                 0.0, self.live_memory_mb - container.memory_mb
             )
+            if self._monitor is not None:
+                self._monitor.notify("destroy", container=container)
         self.placement.release(container.container_id, container.memory_mb)
 
     # -- fault hooks ---------------------------------------------------------

@@ -154,6 +154,17 @@ class PlacementEngine:
             heapq.heappop(inflight)
         return len(inflight)
 
+    def slot_counts(self) -> Tuple[int, ...]:
+        """Occupied (possibly stale) slot-chain entries per worker.
+
+        :meth:`admit` pops the slot heap below the limit before every push,
+        so each count is bounded by ``concurrency_limit`` at all times --
+        the invariant the verification harness checks.  Entries whose
+        release time has passed are pruned lazily at the next admission,
+        so counts may include already-released jobs.
+        """
+        return tuple(len(slots) for slots in self._slots)
+
     def inflight_counts(self, now: float) -> Tuple[int, ...]:
         """Admitted-but-unreleased startups/executions per worker."""
         return tuple(

@@ -100,6 +100,16 @@ class SimulationConfig:
     worker_capacity_mb:
         Optional per-worker memory bound used to filter cold-start
         placement (see :class:`~repro.cluster.placement.PlacementEngine`).
+    verify:
+        Attach the :mod:`repro.verify` invariant monitors
+        (:class:`~repro.verify.invariants.VerificationHarness`): after
+        every applied decision and processed event the full set of runtime
+        invariants (container conservation, capacity/concurrency bounds,
+        pool-index consistency, volume pairing, clock monotonicity, TTL
+        ordering) is re-asserted, raising
+        :class:`~repro.verify.invariants.InvariantViolation` on the first
+        breach.  Off by default; when off the simulator holds no harness
+        and the hooks cost one ``is None`` test per event.
     """
 
     pool_capacity_mb: float
@@ -111,6 +121,7 @@ class SimulationConfig:
     trace: bool = False
     worker_concurrency: Optional[int] = None
     worker_capacity_mb: Optional[float] = None
+    verify: bool = False
 
     def __post_init__(self) -> None:
         if self.worker_concurrency is not None and self.worker_concurrency < 1:
@@ -143,6 +154,13 @@ class ClusterSimulator:
     ) -> None:
         self.config = config
         self.eviction = eviction_policy or LRUEviction()
+        # Deferred import: repro.verify depends on this module.
+        if config.verify:
+            from repro.verify.invariants import VerificationHarness
+
+            self.verifier: Optional[VerificationHarness] = VerificationHarness()
+        else:
+            self.verifier = None
         self.pool = PoolSet(
             config.pool_capacity_mb,
             n_shards=config.n_workers if config.per_worker_pools else 1,
@@ -165,11 +183,19 @@ class ClusterSimulator:
             placement=self.placement,
             faults=config.faults,
             per_worker_pools=config.per_worker_pools,
+            monitor=self.verifier,
         )
-        self.loop = EventLoop(sweep=self.lifecycle.expire_ttl)
+        self.loop = EventLoop(
+            sweep=self.lifecycle.expire_ttl,
+            observer=(
+                self.verifier.observe_loop if self.verifier is not None else None
+            ),
+        )
         self._pending: Optional[Invocation] = None
         self._workload_name = "<none>"
         self._finished = False
+        if self.verifier is not None:
+            self.verifier.attach(self)
 
     # ------------------------------------------------------------------
     # Convenience views over the layers
@@ -227,6 +253,8 @@ class ClusterSimulator:
         container = self.lifecycle.create(image, owner_name, now, idle=True)
         self.telemetry.sample_live_memory(self.lifecycle.live_memory_mb)
         self.lifecycle.keep_alive(container, now)
+        if self.verifier is not None:
+            self.verifier.checkpoint()
         return container
 
     def next_decision_point(self) -> Optional[SchedulingContext]:
@@ -337,6 +365,8 @@ class ClusterSimulator:
             worker_id=worker_id,
         )
         self.telemetry.record_invocation(record)
+        if self.verifier is not None:
+            self.verifier.checkpoint()
         return record
 
     def finish(self, scheduler_name: str = "policy") -> SimulationResult:
@@ -349,6 +379,8 @@ class ClusterSimulator:
             self._handle_non_arrival(event)
         self._finished = True
         self.telemetry.duration_s = self.loop.now
+        if self.verifier is not None:
+            self.verifier.checkpoint()
         return SimulationResult(
             workload_name=self._workload_name,
             scheduler_name=scheduler_name,
@@ -400,3 +432,5 @@ class ClusterSimulator:
                 self.lifecycle.keep_alive(container, now)
         else:  # pragma: no cover - exhaustive enum
             raise RuntimeError(f"unhandled event kind {event.kind}")
+        if self.verifier is not None:
+            self.verifier.checkpoint()

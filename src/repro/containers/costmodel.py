@@ -24,6 +24,7 @@ function execution time.
 from __future__ import annotations
 
 import enum
+import math
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Mapping
 
@@ -155,19 +156,26 @@ class StartupCostModel:
 
     # -- phase helpers -------------------------------------------------------
     def pull_time_s(self, packages: FrozenSet[Package]) -> float:
-        """Network transfer plus per-package request latency."""
-        size = sum(p.size_mb for p in packages)
+        """Network transfer plus per-package request latency.
+
+        Package sets iterate in hash-randomized order, so all phase sums
+        use ``math.fsum`` (exactly rounded, hence order-independent) to
+        keep latencies bit-reproducible across processes -- golden traces
+        depend on this.
+        """
+        size = math.fsum(p.size_mb for p in packages)
         return size / self.params.bandwidth_mb_per_s + (
             self.params.per_package_pull_s * len(packages)
         )
 
     @staticmethod
     def install_time_s(packages: FrozenSet[Package]) -> float:
-        return sum(p.install_cost_s for p in packages)
+        """Total extra install time of ``packages`` (order-independent)."""
+        return math.fsum(p.install_cost_s for p in packages)
 
     def runtime_init_time_s(self, image: FunctionImage) -> float:
         """Sum of language-runtime init times for the image's L2 packages."""
-        return sum(
+        return math.fsum(
             self.params.runtime_init_s.get(p.name, self.params.default_runtime_init_s)
             for p in image.language_packages
         )

@@ -76,6 +76,12 @@ class MLCRConfig:
         replay buffer: ``"float32"`` (default -- the fast path; the
         networks are small enough that float32 loses no training quality)
         or ``"float64"`` (full precision, the historical behaviour).
+    batched_rollouts:
+        Run no-learning episodes (demonstration seeding, validation) as
+        one lockstep batch sharing a single forward per step (default).
+        ``False`` rolls them out one episode at a time -- the historical
+        sequential path, kept as the differential-testing reference
+        (:mod:`repro.verify.differential` cross-checks the two).
     seed:
         Master seed for network init, exploration and replay sampling.
     """
@@ -103,6 +109,7 @@ class MLCRConfig:
     shaping_coef: float = 1.0
     load_features: bool = False
     dtype: str = "float32"
+    batched_rollouts: bool = True
     seed: int = 0
 
     @property

@@ -158,7 +158,7 @@ class MLCRTrainer:
                 "greedy" if demo % 2 == 0 else "exact"
                 for demo in range(self.config.demo_episodes)
             ]
-            self._run_episodes_batched(kinds, range(self.config.demo_episodes))
+            self.rollout(kinds, range(self.config.demo_episodes))
         best_snapshot = None
         for episode in range(self.config.n_episodes):
             ret, latency, colds = self._run_episode(
@@ -195,12 +195,32 @@ class MLCRTrainer:
         forwards (see :meth:`_run_episodes_batched`).
         """
         n = max(1, self.config.eval_episodes)
-        results = self._run_episodes_batched(
+        results = self.rollout(
             ["eval"] * n, [EVAL_EPISODE_BASE + i for i in range(n)]
         )
         return float(np.mean([latency for _, latency, _ in results]))
 
     # -- batched rollouts ---------------------------------------------------
+    def rollout(
+        self, kinds: Sequence[str], episodes: Sequence[int]
+    ) -> List[Tuple[float, float, int]]:
+        """Run no-learning episodes (``"eval"``/``"greedy"``/``"exact"``).
+
+        Dispatches on ``config.batched_rollouts``: the lockstep batched
+        path (default) or one sequential :meth:`_run_episode` per entry.
+        Both return ``(return, latency, cold_starts)`` per episode in
+        input order and are outcome-identical -- the differential oracle
+        harness holds them to that.
+        """
+        kinds = list(kinds)
+        episodes = list(episodes)
+        if self.config.batched_rollouts:
+            return self._run_episodes_batched(kinds, episodes)
+        return [
+            self._run_episode(policy=kind, learn=False, episode=episode)
+            for kind, episode in zip(kinds, episodes)
+        ]
+
     def _run_episodes_batched(
         self, kinds: Sequence[str], episodes: Sequence[int]
     ) -> List[Tuple[float, float, int]]:

@@ -9,6 +9,7 @@ accounting in the warm pool, so they are first-class here.
 from __future__ import annotations
 
 import enum
+import math
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, Iterator, Tuple
 
@@ -198,16 +199,22 @@ class PackageSet:
     # -- aggregates ---------------------------------------------------------
     @property
     def total_size_mb(self) -> float:
-        """Total on-disk size of all packages."""
-        return sum(p.size_mb for p in self._all)
+        """Total on-disk size of all packages.
+
+        ``math.fsum`` keeps the result independent of the frozenset's
+        hash-randomized iteration order (exactly-rounded summation), so
+        sizes -- and everything derived from them -- are reproducible
+        across processes.
+        """
+        return math.fsum(p.size_mb for p in self._all)
 
     def level_size_mb(self, level: PackageLevel) -> float:
         """Total on-disk size of the packages at ``level``."""
-        return sum(p.size_mb for p in self._by_level[level])
+        return math.fsum(p.size_mb for p in self._by_level[level])
 
     def level_install_cost_s(self, level: PackageLevel) -> float:
         """Total extra install time of the packages at ``level``."""
-        return sum(p.install_cost_s for p in self._by_level[level])
+        return math.fsum(p.install_cost_s for p in self._by_level[level])
 
     # -- construction helpers ------------------------------------------------
     def union(self, other: "PackageSet") -> "PackageSet":

@@ -1,0 +1,393 @@
+"""Differential oracle harness: cross-check every promised equivalence.
+
+The codebase carries a set of "fast path equals reference path" claims
+accumulated over the performance PRs.  Each claim here becomes a named
+*oracle* -- a self-contained check that runs both sides and compares
+outcomes:
+
+=========================  ==============================================
+oracle                     equivalence checked
+=========================  ==============================================
+batch_vs_incremental       ``ClusterSimulator.run`` == ``load`` /
+                           ``next_decision_point`` / ``apply_decision`` /
+                           ``finish`` (identical per-invocation records)
+global_vs_sharded          ``per_worker_pools`` on/off at unbounded
+                           capacity (identical telemetry summary)
+jobs_serial_vs_parallel    ``run_grid(jobs=1)`` == ``run_grid(jobs=2)``
+                           (identical cell summaries)
+fused_vs_unfused_qkv       fused ``(D, 3D)`` QKV projection == textbook
+                           three-projection attention forward
+v1_float64_vs_float32      a v1 (unfused float64) checkpoint served in
+                           float64 picks the same greedy actions as its
+                           float32 cast
+sequential_vs_batched      ``MLCRTrainer.rollout`` with
+                           ``batched_rollouts`` on/off (identical
+                           outcomes and replay-buffer fill)
+=========================  ==============================================
+
+Runnable as the ``tests/test_verify_differential.py`` pytest suite and as
+part of the standalone ``tools/verify_capture.py`` gate via
+:func:`run_oracles`.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import tempfile
+import traceback
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.cluster.simulator import ClusterSimulator, SimulationConfig
+from repro.core.config import MLCRConfig
+from repro.core.env import SchedulingEnv
+from repro.core.mlcr import train_mlcr_scheduler
+from repro.core.state import StateEncoder
+from repro.core.trainer import EVAL_EPISODE_BASE, MLCRTrainer
+from repro.drl.dqn import DQNConfig, masked_argmax
+from repro.experiments.parallel import GridTask, run_grid
+from repro.schedulers.greedy import GreedyMatchScheduler
+from repro.workloads.fstartbench import build_workload
+from repro.workloads.functions import function_by_id
+from repro.workloads.workload import Invocation, Workload
+
+_REL_TOL = 1e-6
+
+
+@dataclass(frozen=True)
+class OracleResult:
+    """Outcome of one differential oracle."""
+
+    name: str
+    ok: bool
+    detail: str = ""
+
+    def __str__(self) -> str:
+        status = "ok" if self.ok else "DIVERGED"
+        suffix = f" -- {self.detail}" if self.detail else ""
+        return f"{self.name}: {status}{suffix}"
+
+
+# ---------------------------------------------------------------------------
+# Shared fixtures (self-contained: no test-suite imports)
+# ---------------------------------------------------------------------------
+
+def tiny_workload(seed: int = 0, n: int = 12) -> Workload:
+    """A 12-invocation workload over two Table-II functions."""
+    rng = np.random.default_rng(seed)
+    specs = (function_by_id(1), function_by_id(4))
+    invocations = [
+        Invocation(
+            invocation_id=i,
+            spec=specs[i % 2],
+            arrival_time=float(rng.uniform(0, 30)),
+            execution_time_s=0.5,
+        )
+        for i in range(n)
+    ]
+    return Workload.from_invocations(f"diff-tiny{seed}", invocations)
+
+
+def tiny_mlcr_config(**overrides) -> MLCRConfig:
+    """A seconds-scale MLCR budget for the DRL oracles."""
+    defaults = dict(
+        n_slots=4,
+        model_dim=8,
+        head_hidden=8,
+        n_episodes=2,
+        demo_episodes=2,
+        eval_every=2,
+        eval_episodes=2,
+        epsilon_decay_steps=50,
+        dqn=DQNConfig(batch_size=4, buffer_capacity=256,
+                      target_sync_every=10),
+    )
+    defaults.update(overrides)
+    return MLCRConfig(**defaults)
+
+
+def tiny_env() -> SchedulingEnv:
+    """A small scheduling environment over :func:`tiny_workload` episodes."""
+    return SchedulingEnv(
+        workload_factory=lambda ep: tiny_workload(seed=ep % 3),
+        sim_config=SimulationConfig(pool_capacity_mb=10_000.0),
+        encoder=StateEncoder(n_slots=4),
+    )
+
+
+def _summaries_equal(a: Dict[str, float], b: Dict[str, float]) -> Optional[str]:
+    """First differing summary key, or ``None`` when equal."""
+    if a.keys() != b.keys():
+        return f"summary keys differ: {sorted(a)} vs {sorted(b)}"
+    for key in a:
+        va, vb = a[key], b[key]
+        same = (
+            math.isclose(va, vb, rel_tol=_REL_TOL, abs_tol=1e-9)
+            if isinstance(va, float) or isinstance(vb, float)
+            else va == vb
+        )
+        if not same:
+            return f"summary[{key!r}]: {va!r} vs {vb!r}"
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Oracles
+# ---------------------------------------------------------------------------
+
+def oracle_batch_vs_incremental() -> OracleResult:
+    """Batch ``run()`` and the incremental API yield identical records."""
+    name = "batch_vs_incremental"
+    workload = build_workload("LO-Sim", seed=0)
+    capacity = 2000.0
+
+    batch_sim = ClusterSimulator(SimulationConfig(pool_capacity_mb=capacity))
+    batch = batch_sim.run(workload, GreedyMatchScheduler())
+
+    inc_sim = ClusterSimulator(SimulationConfig(pool_capacity_mb=capacity))
+    scheduler = GreedyMatchScheduler()
+    inc_sim.load(workload)
+    while (ctx := inc_sim.next_decision_point()) is not None:
+        inc_sim.apply_decision(scheduler.decide(ctx))
+    incremental = inc_sim.finish(scheduler_name=scheduler.name)
+
+    want = batch.telemetry.records
+    got = incremental.telemetry.records
+    if len(want) != len(got):
+        return OracleResult(
+            name, False, f"record counts differ: {len(want)} vs {len(got)}"
+        )
+    for i, (a, b) in enumerate(zip(want, got)):
+        if a != b:
+            return OracleResult(name, False, f"records diverge at event {i}: "
+                                             f"{a} vs {b}")
+    mismatch = _summaries_equal(batch.summary(), incremental.summary())
+    if mismatch:
+        return OracleResult(name, False, mismatch)
+    return OracleResult(name, True, f"{len(want)} records identical")
+
+
+def oracle_global_vs_sharded() -> OracleResult:
+    """Global and per-worker pools agree at unbounded capacity."""
+    name = "global_vs_sharded"
+    workload = build_workload("LO-Sim", seed=0)
+
+    def summary(per_worker: bool) -> Dict[str, float]:
+        sim = ClusterSimulator(SimulationConfig(
+            pool_capacity_mb=float("inf"), per_worker_pools=per_worker,
+        ))
+        return sim.run(workload, GreedyMatchScheduler()).summary()
+
+    mismatch = _summaries_equal(summary(False), summary(True))
+    if mismatch:
+        return OracleResult(name, False, mismatch)
+    return OracleResult(name, True, "summaries identical")
+
+
+def oracle_jobs_serial_vs_parallel() -> OracleResult:
+    """``run_grid`` is byte-identical for jobs=1 and jobs=2."""
+    name = "jobs_serial_vs_parallel"
+    tasks = [
+        GridTask(scheduler=key, workload="LO-Sim", seed=0,
+                 pool_label="Fixed", capacity_mb=2000.0)
+        for key in ("lru", "greedy", "keepalive")
+    ]
+    serial = run_grid(tasks, jobs=1)
+    parallel = run_grid(tasks, jobs=2)
+    for i, (a, b) in enumerate(zip(serial, parallel)):
+        if a.method != b.method:
+            return OracleResult(name, False,
+                                f"cell {i} method: {a.method} vs {b.method}")
+        if a.summary != b.summary:
+            return OracleResult(name, False, f"cell {i} summaries differ")
+    return OracleResult(name, True, f"{len(tasks)} cells identical")
+
+
+def oracle_fused_vs_unfused_qkv() -> OracleResult:
+    """The fused QKV projection computes the textbook unfused attention."""
+    from repro.drl.attention import MultiHeadAttention, _softmax
+
+    name = "fused_vs_unfused_qkv"
+    mha = MultiHeadAttention(model_dim=8, n_heads=2,
+                             rng=np.random.default_rng(11))
+    x = np.random.default_rng(1).normal(size=(2, 5, 8))
+    d = mha.model_dim
+    w = mha.w_qkv.value
+    b = mha.b_qkv.value
+
+    def split(t: np.ndarray) -> np.ndarray:
+        bs, n, _ = t.shape
+        return t.reshape(bs, n, mha.n_heads, mha.head_dim).transpose(0, 2, 1, 3)
+
+    q = split(x @ w[:, :d] + b[:d])
+    k = split(x @ w[:, d:2 * d] + b[d:2 * d])
+    v = split(x @ w[:, 2 * d:] + b[2 * d:])
+    scores = q @ k.transpose(0, 1, 3, 2) / np.sqrt(mha.head_dim)
+    context = _softmax(scores, axis=-1) @ v
+    context = context.transpose(0, 2, 1, 3).reshape(2, 5, d)
+    expected = context @ mha.w_o.weight.value + mha.w_o.bias.value
+
+    got = mha.forward(x)
+    max_err = float(np.abs(got - expected).max())
+    if max_err > 1e-12:
+        return OracleResult(name, False, f"max |fused - unfused| = {max_err:g}")
+    return OracleResult(name, True, f"max error {max_err:g}")
+
+
+def _write_v1_checkpoint(scheduler, cfg: MLCRConfig, path: Path) -> Path:
+    """Save in the historical format: unfused QKV params, no dtype field."""
+    meta = {
+        "format_version": 1,
+        "n_slots": scheduler.encoder.n_slots,
+        "mask_dominated": scheduler.encoder.mask_dominated,
+        "use_mask": scheduler.use_mask,
+        "config": {
+            "n_slots": cfg.n_slots,
+            "model_dim": cfg.model_dim,
+            "n_heads": cfg.n_heads,
+            "n_blocks": cfg.n_blocks,
+            "head_hidden": cfg.head_hidden,
+            "use_attention": cfg.use_attention,
+            "use_dueling": cfg.use_dueling,
+            "seed": cfg.seed,
+        },
+    }
+    old: List[np.ndarray] = []
+    params = scheduler.agent.online.parameters()
+    i = 0
+    while i < len(params):
+        p = params[i]
+        if p.name.endswith(".qkv.weight"):
+            bias = params[i + 1]
+            d = p.value.shape[0]
+            for j in range(3):
+                old.append(p.value[:, d * j:d * (j + 1)].copy())
+                old.append(bias.value[d * j:d * (j + 1)].copy())
+            i += 2
+        else:
+            old.append(p.value.copy())
+            i += 1
+    arrays = {f"param_{j}": t for j, t in enumerate(old)}
+    np.savez(path, _meta=np.array(json.dumps(meta)), **arrays)
+    return path
+
+
+def oracle_v1_float64_vs_float32() -> OracleResult:
+    """A v1 checkpoint's float64 serve and its float32 cast pick the same
+    greedy actions."""
+    from repro.core.persistence import load_scheduler
+
+    name = "v1_float64_vs_float32"
+    cfg = tiny_mlcr_config(dtype="float64", demo_episodes=1, eval_episodes=1)
+    scheduler, _ = train_mlcr_scheduler(
+        workload_factory=lambda ep: tiny_workload(seed=ep % 2),
+        sim_config=SimulationConfig(pool_capacity_mb=10_000.0),
+        config=cfg,
+    )
+    with tempfile.TemporaryDirectory() as tmp:
+        path = _write_v1_checkpoint(scheduler, cfg, Path(tmp) / "v1.npz")
+        served64 = load_scheduler(path)
+    net64 = served64.agent.online
+    if net64.dtype != np.dtype("float64"):
+        return OracleResult(
+            name, False, f"v1 checkpoint served as {net64.dtype}, not float64"
+        )
+
+    # Cast the served network to float32 and compare greedy decisions.
+    trainer32 = MLCRTrainer(tiny_env(), replace(cfg, dtype="float32"))
+    net32 = trainer32.agent.online
+    net32.load_state_dict({
+        key: value.astype(np.float32)
+        for key, value in net64.state_dict().items()
+    })
+    rng = np.random.default_rng(17)
+    states = rng.normal(size=(64, net64.state_dim))
+    masks = rng.random((64, net64.action_dim)) < 0.7
+    masks[:, -1] = True  # cold start always valid
+    with net64.inference(), net32.inference():
+        q64 = net64.forward(states)
+        q32 = net32.forward(states)
+    a64 = masked_argmax(q64, masks)
+    a32 = masked_argmax(q32.astype(np.float64), masks)
+    diverged = int((a64 != a32).sum())
+    if diverged:
+        return OracleResult(
+            name, False, f"{diverged}/64 greedy decisions differ"
+        )
+    return OracleResult(name, True, "64/64 greedy decisions identical")
+
+
+def oracle_sequential_vs_batched() -> OracleResult:
+    """``MLCRTrainer.rollout`` agrees across the ``batched_rollouts`` knob."""
+    name = "sequential_vs_batched"
+    kinds = ["greedy", "exact", "eval", "eval"]
+    episodes = [0, 1, EVAL_EPISODE_BASE, EVAL_EPISODE_BASE + 1]
+
+    outcomes = {}
+    trainers = {}
+    for batched in (True, False):
+        cfg = tiny_mlcr_config(batched_rollouts=batched)
+        trainer = MLCRTrainer(tiny_env(), cfg)
+        outcomes[batched] = trainer.rollout(kinds, episodes)
+        trainers[batched] = trainer
+
+    for i, (got, want) in enumerate(zip(outcomes[True], outcomes[False])):
+        (g_ret, g_lat, g_cold), (w_ret, w_lat, w_cold) = got, want
+        if (
+            not math.isclose(g_ret, w_ret, rel_tol=_REL_TOL, abs_tol=1e-9)
+            or not math.isclose(g_lat, w_lat, rel_tol=_REL_TOL, abs_tol=1e-9)
+            or g_cold != w_cold
+        ):
+            return OracleResult(
+                name, False,
+                f"episode {i} ({kinds[i]}): batched {got} vs sequential {want}"
+            )
+    fill = (len(trainers[True].agent.buffer), len(trainers[False].agent.buffer))
+    if fill[0] != fill[1]:
+        return OracleResult(
+            name, False, f"replay fill differs: {fill[0]} vs {fill[1]}"
+        )
+    steps = (trainers[True]._global_step, trainers[False]._global_step)
+    if steps[0] != steps[1]:
+        return OracleResult(
+            name, False, f"global step differs: {steps[0]} vs {steps[1]}"
+        )
+    return OracleResult(
+        name, True,
+        f"{len(kinds)} episodes identical, replay fill {fill[0]}"
+    )
+
+
+#: Registry of every differential oracle, in documentation order.
+ORACLES: Dict[str, Callable[[], OracleResult]] = {
+    "batch_vs_incremental": oracle_batch_vs_incremental,
+    "global_vs_sharded": oracle_global_vs_sharded,
+    "jobs_serial_vs_parallel": oracle_jobs_serial_vs_parallel,
+    "fused_vs_unfused_qkv": oracle_fused_vs_unfused_qkv,
+    "v1_float64_vs_float32": oracle_v1_float64_vs_float32,
+    "sequential_vs_batched": oracle_sequential_vs_batched,
+}
+
+
+def run_oracles(
+    names: Optional[Sequence[str]] = None,
+) -> List[OracleResult]:
+    """Run the selected (default: all) oracles; never raises.
+
+    An oracle that throws is reported as a failed :class:`OracleResult`
+    carrying the traceback tail, so one broken equivalence cannot hide
+    the others.
+    """
+    results = []
+    for oracle_name in (names if names is not None else list(ORACLES)):
+        oracle = ORACLES[oracle_name]
+        try:
+            results.append(oracle())
+        except Exception:
+            tail = traceback.format_exc().strip().splitlines()[-1]
+            results.append(OracleResult(oracle_name, False, f"raised: {tail}"))
+    return results

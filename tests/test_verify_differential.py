@@ -1,0 +1,42 @@
+"""The differential oracle harness, run as a pytest suite.
+
+Each oracle from :mod:`repro.verify.differential` becomes one test, all
+marked ``differential`` so the whole cross-implementation matrix can be
+selected with ``-m differential``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.verify.differential import ORACLES, OracleResult, run_oracles
+
+pytestmark = pytest.mark.differential
+
+
+@pytest.mark.parametrize("oracle_name", sorted(ORACLES))
+def test_oracle(oracle_name):
+    result = ORACLES[oracle_name]()
+    assert result.name == oracle_name
+    assert result.ok, str(result)
+
+
+def test_run_oracles_covers_registry():
+    results = run_oracles(["fused_vs_unfused_qkv"])
+    assert [r.name for r in results] == ["fused_vs_unfused_qkv"]
+    assert results[0].ok
+
+
+def test_run_oracles_captures_exceptions(monkeypatch):
+    def boom():
+        raise RuntimeError("kaput")
+
+    monkeypatch.setitem(ORACLES, "fused_vs_unfused_qkv", boom)
+    results = run_oracles(["fused_vs_unfused_qkv"])
+    assert not results[0].ok
+    assert "kaput" in results[0].detail
+
+
+def test_oracle_result_str():
+    assert str(OracleResult("x", True, "fine")) == "x: ok -- fine"
+    assert str(OracleResult("x", False)) == "x: DIVERGED"

@@ -1,0 +1,144 @@
+"""Metamorphic tests: known input transformations with known output effects.
+
+Three relations from the issue:
+
+* **match invariance** -- adding a package unrelated to any function to
+  *both* images of a pair never changes their Table-I match level, and
+  adding it to only one image can lower but never raise the level;
+* **time-shift equivariance** -- uniformly shifting every arrival time by
+  ``delta`` shifts completion times by exactly ``delta`` and changes no
+  decision (same containers, matches, latencies, queueing, workers);
+* **concurrency monotonicity** -- raising ``worker_concurrency`` never
+  increases total queueing delay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from conftest import make_image
+from repro.cluster.simulator import ClusterSimulator, SimulationConfig
+from repro.containers.image import FunctionImage
+from repro.containers.matching import match_level
+from repro.experiments.parallel import build_scheduler
+from repro.packages.package import Package, PackageLevel
+from repro.workloads.fstartbench import build_workload
+from repro.workloads.workload import Workload
+
+# ---------------------------------------------------------------------------
+# Match-level invariance under unrelated packages
+# ---------------------------------------------------------------------------
+
+_OS_NAMES = ("alpine", "ubuntu", "centos")
+_LANG_NAMES = ("python", "nodejs", "go")
+_RUNTIME_NAMES = ("flask", "numpy", "pandas", "express", "gin")
+
+_image_strategy = st.builds(
+    make_image,
+    name=st.just("img"),
+    os_name=st.sampled_from(_OS_NAMES),
+    lang_name=st.sampled_from(_LANG_NAMES),
+    runtime_names=st.sets(
+        st.sampled_from(_RUNTIME_NAMES), min_size=1, max_size=3
+    ).map(sorted),
+)
+
+_unrelated_package = st.builds(
+    Package,
+    st.just("totally-unrelated"),
+    st.sampled_from(["0.1", "0.2"]),
+    st.sampled_from(list(PackageLevel)),
+    st.floats(min_value=1.0, max_value=50.0, allow_nan=False),
+    st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+)
+
+
+def _with_package(image: FunctionImage, pkg: Package) -> FunctionImage:
+    return FunctionImage.from_packages(
+        image.name, list(image.packages) + [pkg],
+        memory_overhead_mb=0.0,
+    )
+
+
+@given(a=_image_strategy, b=_image_strategy, pkg=_unrelated_package)
+@settings(max_examples=60, deadline=None)
+def test_unrelated_package_added_to_both_preserves_match(a, b, pkg):
+    """The same unrelated package on both sides never moves the level."""
+    before = match_level(a, b)
+    after = match_level(_with_package(a, pkg), _with_package(b, pkg))
+    assert after is before
+
+
+@given(a=_image_strategy, b=_image_strategy, pkg=_unrelated_package)
+@settings(max_examples=60, deadline=None)
+def test_unrelated_package_on_one_side_never_raises_match(a, b, pkg):
+    """A fresh package on one side can only break levels, never add one."""
+    before = match_level(a, b)
+    assert match_level(_with_package(a, pkg), b) <= before
+    assert match_level(a, _with_package(b, pkg)) <= before
+
+
+# ---------------------------------------------------------------------------
+# Time-shift equivariance
+# ---------------------------------------------------------------------------
+
+def _shift(workload: Workload, delta: float) -> Workload:
+    return Workload.from_invocations(
+        f"{workload.name}+{delta}",
+        [replace(inv, arrival_time=inv.arrival_time + delta)
+         for inv in workload],
+    )
+
+
+def _records(workload: Workload, scheduler_key: str,
+             worker_concurrency=None):
+    scheduler = build_scheduler(scheduler_key)
+    scheduler.reset()
+    if hasattr(scheduler, "observe_workload"):
+        scheduler.observe_workload(workload)
+    sim = ClusterSimulator(SimulationConfig(
+        pool_capacity_mb=1200.0,
+        worker_concurrency=worker_concurrency,
+    ))
+    return sim.run(workload, scheduler).telemetry.records
+
+
+@pytest.mark.parametrize("scheduler", ["lru", "greedy", "keepalive"])
+@pytest.mark.parametrize("delta", [7.25, 120.0])
+def test_arrival_shift_shifts_completions_by_delta(scheduler, delta):
+    workload = build_workload("LO-Sim", seed=0)
+    base = _records(workload, scheduler)
+    shifted = _records(_shift(workload, delta), scheduler)
+    assert len(base) == len(shifted)
+    for a, b in zip(base, shifted):
+        assert b.arrival_time == pytest.approx(a.arrival_time + delta)
+        # Completion = arrival + queueing + startup + execution; everything
+        # after the shifted arrival is decision-for-decision identical.
+        assert b.container_id == a.container_id
+        assert b.cold_start == a.cold_start
+        assert b.match == a.match
+        assert b.startup_latency_s == a.startup_latency_s
+        assert b.queue_delay_s == a.queue_delay_s
+        assert b.worker_id == a.worker_id
+        assert b.execution_time_s == a.execution_time_s
+
+
+# ---------------------------------------------------------------------------
+# Concurrency monotonicity
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("workload_name", ["LO-Sim", "Peak"])
+def test_raising_worker_concurrency_never_increases_queueing(workload_name):
+    workload = build_workload(workload_name, seed=0)
+    totals = []
+    for concurrency in (1, 2, 4, None):
+        records = _records(workload, "greedy",
+                           worker_concurrency=concurrency)
+        totals.append(sum(r.queue_delay_s for r in records))
+    for tighter, looser in zip(totals, totals[1:]):
+        assert looser <= tighter + 1e-9
+    assert totals[-1] == 0.0  # no admission control, no queueing

@@ -29,14 +29,50 @@ from typing import Dict, List, Optional, Sequence
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
-#: Benchmarks fast enough to re-run on every capture (the figure-level
-#: benchmarks train DRL policies and are deliberately excluded).
-DEFAULT_BENCHMARKS = (
-    "benchmarks/bench_drl_engine.py",
-    "benchmarks/bench_micro_substrates.py",
-    "benchmarks/bench_simulator_queueing.py",
-    "benchmarks/bench_state_encoder.py",
-)
+#: Benchmarks excluded from the default capture because they train DRL
+#: policies or replay full experiment grids -- far too slow to re-run on
+#: every baseline refresh.  Every file here must still exist (the
+#: ``tests/test_bench_manifest.py`` drift test checks both directions).
+HEAVY_BENCHMARKS = frozenset({
+    "bench_ablations.py",
+    "bench_ext_azure.py",
+    "bench_ext_sharding.py",
+    "bench_ext_zygote.py",
+    "bench_fig10_memory.py",
+    "bench_fig11a_similarity.py",
+    "bench_fig11b_variance.py",
+    "bench_fig11c_arrivals.py",
+    "bench_fig1_breakdown.py",
+    "bench_fig2_motivation.py",
+    "bench_fig3_dockerhub.py",
+    "bench_fig8_overall.py",
+    "bench_fig9_trajectory.py",
+    "bench_overhead_inference.py",
+    "bench_tab2_functions.py",
+})
+
+
+def discover_benchmarks() -> List[str]:
+    """Every ``benchmarks/bench_*.py`` file, repo-relative and sorted."""
+    return sorted(
+        f"benchmarks/{path.name}"
+        for path in (REPO_ROOT / "benchmarks").glob("bench_*.py")
+    )
+
+
+def default_benchmarks() -> List[str]:
+    """Discovered benchmarks minus the heavy exclusion set."""
+    return [
+        path for path in discover_benchmarks()
+        if Path(path).name not in HEAVY_BENCHMARKS
+    ]
+
+
+#: Benchmarks fast enough to re-run on every capture: everything under
+#: ``benchmarks/`` that is not explicitly listed as heavy, so a new
+#: ``bench_*.py`` file joins the baseline automatically (or must be added
+#: to :data:`HEAVY_BENCHMARKS`, which the manifest drift test enforces).
+DEFAULT_BENCHMARKS = tuple(default_benchmarks())
 
 DEFAULT_OUTPUT = REPO_ROOT / "benchmarks" / "bench_baseline.json"
 

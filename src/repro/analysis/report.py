@@ -3,6 +3,12 @@
 The benchmark harness prints the same rows/series the paper's tables and
 figures report; these helpers keep the formatting consistent and dependency
 free (no matplotlib available offline).
+
+The telemetry-consuming reports read only aggregate methods
+(``queueing_summary``, ``worker_utilization``), so they duck-type over both
+the columnar :class:`~repro.cluster.telemetry.Telemetry` and the legacy
+row-oriented reference -- the parity suite renders both and asserts the
+bytes match.
 """
 
 from __future__ import annotations

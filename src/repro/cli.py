@@ -82,18 +82,34 @@ def cmd_simulate(args: argparse.Namespace) -> int:
 
     With ``--jobs N`` the scheduler runs fan out over worker processes via
     :func:`repro.experiments.parallel.run_grid`; the printed table is
-    byte-identical to the serial run.
+    byte-identical to the serial run.  Cells (and the pool-sizing
+    reference run) are served from the content-addressed
+    ``.repro_cache/`` unless ``--no-cache`` (or ``REPRO_CACHE=off``) is
+    given; ``--profile`` prints the top cumulative-time entries of the
+    run.
     """
-    capacity = pool_sizes(build_workload(args.workload,
-                                         seed=args.seed))[args.pool.capitalize()]
+    from repro.experiments.cache import ExperimentCache, pool_sizes_cached
+
+    cache = ExperimentCache(enabled=False if args.no_cache else None)
+    capacity = pool_sizes_cached(
+        args.workload, args.seed, cache
+    )[args.pool.capitalize()]
     keys = list(BASELINE_KEYS) if args.scheduler == "all" else [args.scheduler]
     tasks = [
         GridTask(scheduler=key, workload=args.workload, seed=args.seed,
                  pool_label=args.pool.capitalize(), capacity_mb=capacity)
         for key in keys
     ]
+    if args.profile:
+        from repro.profiling import profile_call
+
+        cells = profile_call(
+            lambda: run_grid(tasks, jobs=args.jobs, cache=cache)
+        )
+    else:
+        cells = run_grid(tasks, jobs=args.jobs, cache=cache)
     rows = []
-    for cell in run_grid(tasks, jobs=args.jobs):
+    for cell in cells:
         s = cell.summary
         rows.append([
             cell.method,
@@ -257,6 +273,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--jobs", type=int, default=1,
                    help="worker processes for the scheduler runs")
+    p.add_argument("--no-cache", action="store_true",
+                   help="bypass the content-addressed experiment cache")
+    p.add_argument("--profile", action="store_true",
+                   help="run under cProfile and print the top-25 "
+                        "cumulative-time entries")
     p.set_defaults(func=cmd_simulate)
 
     p = sub.add_parser("train", help="train and save an MLCR policy")

@@ -219,13 +219,21 @@ class ClusterSimulator:
     # Batch mode
     # ------------------------------------------------------------------
     def run(self, workload: Workload, scheduler: Scheduler) -> SimulationResult:
-        """Simulate ``workload`` end-to-end under ``scheduler``."""
+        """Simulate ``workload`` end-to-end under ``scheduler``.
+
+        Uses the columnar telemetry ingest path: per-invocation outcomes go
+        straight into the column buffers without materializing an
+        :class:`InvocationRecord` per event (the discarded return value of
+        :meth:`apply_decision`).  The recorded rows are identical either
+        way -- the ``batch_vs_incremental`` differential oracle holds both
+        modes to that.
+        """
         self.load(workload)
         while True:
             ctx = self.next_decision_point()
             if ctx is None:
                 break
-            self.apply_decision(scheduler.decide(ctx))
+            self._apply(scheduler.decide(ctx), want_record=False)
         return self.finish(scheduler_name=scheduler.name)
 
     # ------------------------------------------------------------------
@@ -279,6 +287,12 @@ class ClusterSimulator:
         pending invocation in place, so the caller can retry with a valid
         decision instead of silently losing the arrival.
         """
+        return self._apply(decision, want_record=True)
+
+    def _apply(
+        self, decision: Decision, want_record: bool
+    ) -> Optional[InvocationRecord]:
+        """Shared decision executor; builds the row view only on request."""
         if self._pending is None:
             raise RuntimeError("no pending invocation; call next_decision_point")
         invocation = self._pending
@@ -351,7 +365,29 @@ class ClusterSimulator:
                 spec.name,
                 f"latency={latency:.3f}s",
             )
-        record = InvocationRecord(
+        self.telemetry.record_invocation_values(
+            invocation.invocation_id,
+            spec.name,
+            invocation.arrival_time,
+            container.container_id,
+            decision.is_cold,
+            int(match),
+            latency,
+            breakdown.create_s,
+            breakdown.pull_s,
+            breakdown.install_s,
+            breakdown.runtime_init_s,
+            breakdown.function_init_s,
+            breakdown.clean_s,
+            invocation.execution_time_s,
+            queue_delay,
+            worker_id,
+        )
+        if self.verifier is not None:
+            self.verifier.checkpoint()
+        if not want_record:
+            return None
+        return InvocationRecord(
             invocation_id=invocation.invocation_id,
             function_name=spec.name,
             arrival_time=invocation.arrival_time,
@@ -364,10 +400,6 @@ class ClusterSimulator:
             queue_delay_s=queue_delay,
             worker_id=worker_id,
         )
-        self.telemetry.record_invocation(record)
-        if self.verifier is not None:
-            self.verifier.checkpoint()
-        return record
 
     def finish(self, scheduler_name: str = "policy") -> SimulationResult:
         """Drain remaining events and return the run result."""

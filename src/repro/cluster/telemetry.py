@@ -3,17 +3,39 @@
 The paper's figures need, per run: total/average startup latency, number of
 cold starts, cumulative latency trajectories (Fig. 9), peak warm-pool memory
 and eviction counts (Fig. 10), plus per-invocation breakdowns (Fig. 1).
+
+Storage is *columnar* (struct-of-arrays): every per-invocation field lives
+in its own ``array('d')`` / ``array('q')`` column, with function names
+interned into a string table.  Appending an event touches a handful of
+primitive array slots instead of allocating a Python object per invocation,
+and the aggregates (:meth:`Telemetry.summary`, percentiles, per-worker
+utilization) compute directly over the columns in one pass.  The historical
+row-oriented views -- :class:`InvocationRecord` and :class:`TraceEvent` --
+are materialized lazily (and cached) by the :attr:`Telemetry.records` /
+:attr:`Telemetry.trace` properties, so report rendering, golden-trace
+record/replay and the verification monitors keep byte-identical output.
+
+The pre-columnar list implementation survives as
+:class:`repro.cluster.telemetry_reference.LegacyTelemetry`; the hypothesis
+parity suite (``tests/test_telemetry_parity.py``) drives both with random
+event streams and asserts identical summaries and trace bytes.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from array import array
+from dataclasses import dataclass
+from typing import Dict, List, NamedTuple, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.containers.costmodel import StartupBreakdown
 from repro.containers.matching import MatchLevel
+
+#: MatchLevel members indexed by their integer value (levels are contiguous
+#: from 0), used to rebuild enum members from the ``match`` column without
+#: paying the ``MatchLevel(int)`` constructor per row.
+_MATCH_MEMBERS: Tuple[MatchLevel, ...] = tuple(MatchLevel)
 
 
 @dataclass(frozen=True)
@@ -70,38 +92,175 @@ class TraceEvent:
         })
 
 
-@dataclass
-class Telemetry:
-    """Mutable per-run metric collector."""
+class InvocationColumns(NamedTuple):
+    """Zero-copy view over the telemetry's per-invocation columns.
 
-    records: List[InvocationRecord] = field(default_factory=list)
-    evictions: int = 0
-    keep_alive_rejections: int = 0
-    ttl_expirations: int = 0
-    container_crashes: int = 0
-    stragglers: int = 0
-    memory_timeline: List[Tuple[float, float]] = field(default_factory=list)
-    peak_warm_memory_mb: float = 0.0
-    peak_live_memory_mb: float = 0.0
-    trace: List[TraceEvent] = field(default_factory=list)
-    trace_enabled: bool = False
-    #: Set by the simulator when a worker concurrency limit is enforced;
-    #: gates the queueing/utilization block of :meth:`summary` so runs
-    #: without admission control keep their historical summary keys.
-    queueing_enabled: bool = False
-    queue_delays: List[float] = field(default_factory=list)
-    max_queue_depth: int = 0
-    worker_busy_s: Dict[int, float] = field(default_factory=dict)
-    duration_s: float = 0.0
-    #: Concurrency slots per worker (the simulator's ``worker_concurrency``);
-    #: normalizes :meth:`worker_utilization` so a fully-busy worker reads 1.0
-    #: regardless of how many slots it runs.
-    worker_slots: int = 1
+    Numeric fields are the live ``array`` columns (do not mutate);
+    ``function_name`` is materialized as a list of interned name references.
+    Consumers that only need scalar fields (golden-trace recording, columnar
+    IPC packing) iterate these directly instead of building one
+    :class:`InvocationRecord` object per row.
+    """
+
+    invocation_id: Sequence[int]
+    function_name: Sequence[str]
+    arrival_time: Sequence[float]
+    container_id: Sequence[int]
+    cold_start: Sequence[int]
+    match: Sequence[int]
+    startup_latency_s: Sequence[float]
+    queue_delay_s: Sequence[float]
+    worker_id: Sequence[int]
+    execution_time_s: Sequence[float]
+
+
+class Telemetry:
+    """Mutable per-run metric collector (columnar storage).
+
+    Constructor flags:
+
+    ``trace_enabled``
+        Record structured :class:`TraceEvent` rows (off by default; the
+        disabled :meth:`record_event` path returns before any allocation).
+    ``queueing_enabled``
+        Set by the simulator when a worker concurrency limit is enforced;
+        gates the queueing/utilization block of :meth:`summary` so runs
+        without admission control keep their historical summary keys.
+    ``worker_slots``
+        Concurrency slots per worker (the simulator's
+        ``worker_concurrency``); normalizes :meth:`worker_utilization` so a
+        fully-busy worker reads 1.0 regardless of how many slots it runs.
+    """
+
+    def __init__(
+        self,
+        trace_enabled: bool = False,
+        queueing_enabled: bool = False,
+        worker_slots: int = 1,
+    ) -> None:
+        self.trace_enabled = trace_enabled
+        self.queueing_enabled = queueing_enabled
+        self.worker_slots = worker_slots
+        # Scalar counters.
+        self.evictions = 0
+        self.keep_alive_rejections = 0
+        self.ttl_expirations = 0
+        self.container_crashes = 0
+        self.stragglers = 0
+        self.peak_warm_memory_mb = 0.0
+        self.peak_live_memory_mb = 0.0
+        self.max_queue_depth = 0
+        self.worker_busy_s: Dict[int, float] = {}
+        self.duration_s = 0.0
+        # Per-invocation columns (struct-of-arrays).
+        self._inv_id = array("q")
+        self._fn_ix = array("q")
+        self._arrival = array("d")
+        self._cid = array("q")
+        self._cold = array("b")
+        self._match = array("b")
+        self._latency = array("d")
+        self._queue_delay = array("d")
+        self._worker = array("q")
+        self._exec = array("d")
+        self._bd_create = array("d")
+        self._bd_pull = array("d")
+        self._bd_install = array("d")
+        self._bd_rinit = array("d")
+        self._bd_finit = array("d")
+        self._bd_clean = array("d")
+        # Interned string table shared by function names and trace kinds.
+        self._names: List[str] = []
+        self._name_ix: Dict[str, int] = {}
+        # Memory-timeline columns (deduped on ingest: interior points of a
+        # constant-value run are collapsed, keeping first and last).
+        self._mem_t = array("d")
+        self._mem_mb = array("d")
+        # Queueing-delay column.
+        self._queue_delays = array("d")
+        # Trace-event columns (-1 encodes None for container/function).
+        self._tr_time = array("d")
+        self._tr_kind = array("q")
+        self._tr_cid = array("q")
+        self._tr_fn = array("q")
+        self._tr_detail: List[str] = []
+        # Lazily materialized row views (invalidated by length mismatch).
+        self._records_view: Optional[List[InvocationRecord]] = None
+        self._trace_view: Optional[List[TraceEvent]] = None
+
+    # -- interning -----------------------------------------------------------
+    def _intern(self, name: str) -> int:
+        """Index of ``name`` in the shared string table (inserting it)."""
+        ix = self._name_ix.get(name)
+        if ix is None:
+            ix = self._name_ix[name] = len(self._names)
+            self._names.append(name)
+        return ix
 
     # -- recording ----------------------------------------------------------
+    def record_invocation_values(
+        self,
+        invocation_id: int,
+        function_name: str,
+        arrival_time: float,
+        container_id: int,
+        cold_start: bool,
+        match: int,
+        startup_latency_s: float,
+        create_s: float,
+        pull_s: float,
+        install_s: float,
+        runtime_init_s: float,
+        function_init_s: float,
+        clean_s: float,
+        execution_time_s: float,
+        queue_delay_s: float = 0.0,
+        worker_id: int = 0,
+    ) -> None:
+        """Append one invocation directly into the columns (the fast path).
+
+        Hot callers (the simulator's batch loop) use this to skip building
+        an :class:`InvocationRecord` per event; the row view is available
+        afterwards through :attr:`records`.
+        """
+        self._inv_id.append(invocation_id)
+        self._fn_ix.append(self._intern(function_name))
+        self._arrival.append(arrival_time)
+        self._cid.append(container_id)
+        self._cold.append(cold_start)
+        self._match.append(match)
+        self._latency.append(startup_latency_s)
+        self._queue_delay.append(queue_delay_s)
+        self._worker.append(worker_id)
+        self._exec.append(execution_time_s)
+        self._bd_create.append(create_s)
+        self._bd_pull.append(pull_s)
+        self._bd_install.append(install_s)
+        self._bd_rinit.append(runtime_init_s)
+        self._bd_finit.append(function_init_s)
+        self._bd_clean.append(clean_s)
+
     def record_invocation(self, record: InvocationRecord) -> None:
-        """Append one per-invocation record."""
-        self.records.append(record)
+        """Append one per-invocation record (row-oriented compatibility API)."""
+        b = record.breakdown
+        self.record_invocation_values(
+            record.invocation_id,
+            record.function_name,
+            record.arrival_time,
+            record.container_id,
+            record.cold_start,
+            int(record.match),
+            record.startup_latency_s,
+            b.create_s,
+            b.pull_s,
+            b.install_s,
+            b.runtime_init_s,
+            b.function_init_s,
+            b.clean_s,
+            record.execution_time_s,
+            record.queue_delay_s,
+            record.worker_id,
+        )
 
     def record_eviction(self, n: int = 1) -> None:
         """Count eviction(s) of warm containers."""
@@ -132,8 +291,11 @@ class Telemetry:
         """
         if not self.trace_enabled:
             return
-        self.trace.append(TraceEvent(time, kind, container_id,
-                                     function, detail))
+        self._tr_time.append(time)
+        self._tr_kind.append(self._intern(kind))
+        self._tr_cid.append(-1 if container_id is None else container_id)
+        self._tr_fn.append(-1 if function is None else self._intern(function))
+        self._tr_detail.append(detail)
 
     def trace_to_jsonl(self, path) -> "object":
         """Write the trace as JSON lines; returns the path."""
@@ -149,7 +311,7 @@ class Telemetry:
 
     def record_queueing(self, delay_s: float) -> None:
         """Record one startup's queueing delay (0 when it started at once)."""
-        self.queue_delays.append(delay_s)
+        self._queue_delays.append(delay_s)
 
     def record_queue_depth(self, depth: int) -> None:
         """Track the deepest per-worker startup queue observed."""
@@ -167,32 +329,140 @@ class Telemetry:
         self.stragglers += 1
 
     def sample_memory(self, now: float, used_mb: float) -> None:
-        """Record a warm-pool memory sample and update the peak."""
-        self.memory_timeline.append((now, used_mb))
-        self.peak_warm_memory_mb = max(self.peak_warm_memory_mb, used_mb)
+        """Record a warm-pool memory sample and update the peak.
+
+        Runs of identical ``used_mb`` values are deduplicated on ingest:
+        only the first and last sample of a constant run are kept (the
+        last one slides forward in time), which shrinks long-run timelines
+        without changing any piecewise-constant plot drawn from them.
+        """
+        mb = self._mem_mb
+        if len(mb) >= 2 and mb[-1] == used_mb and mb[-2] == used_mb:
+            self._mem_t[-1] = now
+        else:
+            self._mem_t.append(now)
+            mb.append(used_mb)
+        if used_mb > self.peak_warm_memory_mb:
+            self.peak_warm_memory_mb = used_mb
 
     def sample_live_memory(self, live_mb: float) -> None:
         """Update the peak over all live containers' memory."""
-        self.peak_live_memory_mb = max(self.peak_live_memory_mb, live_mb)
+        if live_mb > self.peak_live_memory_mb:
+            self.peak_live_memory_mb = live_mb
+
+    # -- row views (lazy materialization) ------------------------------------
+    @property
+    def records(self) -> List[InvocationRecord]:
+        """Per-invocation rows, materialized lazily from the columns.
+
+        The list is cached and rebuilt only when new invocations arrived
+        since the last access; treat it as read-only.
+        """
+        view = self._records_view
+        if view is not None and len(view) == len(self._inv_id):
+            return view
+        names = self._names
+        view = [
+            InvocationRecord(
+                invocation_id=inv,
+                function_name=names[fn],
+                arrival_time=arr,
+                container_id=cid,
+                cold_start=bool(cold),
+                match=_MATCH_MEMBERS[m],
+                startup_latency_s=lat,
+                breakdown=StartupBreakdown(
+                    create_s=c, pull_s=p, install_s=i,
+                    runtime_init_s=r, function_init_s=f, clean_s=cl,
+                ),
+                execution_time_s=ex,
+                queue_delay_s=q,
+                worker_id=w,
+            )
+            for inv, fn, arr, cid, cold, m, lat, q, w, ex, c, p, i, r, f, cl
+            in zip(
+                self._inv_id, self._fn_ix, self._arrival, self._cid,
+                self._cold, self._match, self._latency, self._queue_delay,
+                self._worker, self._exec, self._bd_create, self._bd_pull,
+                self._bd_install, self._bd_rinit, self._bd_finit,
+                self._bd_clean,
+            )
+        ]
+        self._records_view = view
+        return view
+
+    @property
+    def trace(self) -> List[TraceEvent]:
+        """Structured trace events, materialized lazily from the columns."""
+        view = self._trace_view
+        if view is not None and len(view) == len(self._tr_time):
+            return view
+        names = self._names
+        view = [
+            TraceEvent(
+                time=t,
+                kind=names[k],
+                container_id=None if cid < 0 else cid,
+                function=None if fn < 0 else names[fn],
+                detail=detail,
+            )
+            for t, k, cid, fn, detail in zip(
+                self._tr_time, self._tr_kind, self._tr_cid,
+                self._tr_fn, self._tr_detail,
+            )
+        ]
+        self._trace_view = view
+        return view
+
+    @property
+    def memory_timeline(self) -> List[Tuple[float, float]]:
+        """Warm-pool ``(time, used_mb)`` samples (deduped constant runs)."""
+        return list(zip(self._mem_t, self._mem_mb))
+
+    @property
+    def queue_delays(self) -> Sequence[float]:
+        """Per-startup queueing delays, in admission order."""
+        return self._queue_delays
+
+    def invocation_columns(self) -> InvocationColumns:
+        """The scalar per-invocation columns as one named view.
+
+        Used by golden-trace recording and the columnar IPC packer to read
+        rows without materializing :class:`InvocationRecord` objects.
+        """
+        names = self._names
+        return InvocationColumns(
+            invocation_id=self._inv_id,
+            function_name=[names[i] for i in self._fn_ix],
+            arrival_time=self._arrival,
+            container_id=self._cid,
+            cold_start=self._cold,
+            match=self._match,
+            startup_latency_s=self._latency,
+            queue_delay_s=self._queue_delay,
+            worker_id=self._worker,
+            execution_time_s=self._exec,
+        )
 
     # -- aggregates ---------------------------------------------------------
     @property
     def n_invocations(self) -> int:
-        return len(self.records)
+        return len(self._inv_id)
 
     @property
     def total_startup_latency_s(self) -> float:
-        return float(sum(r.startup_latency_s for r in self.records))
+        return float(sum(self._latency))
 
     @property
     def mean_startup_latency_s(self) -> float:
-        if not self.records:
+        n = len(self._latency)
+        if not n:
             return 0.0
-        return self.total_startup_latency_s / len(self.records)
+        return self.total_startup_latency_s / n
 
     @property
     def cold_starts(self) -> int:
-        return sum(1 for r in self.records if r.cold_start)
+        return int(sum(self._cold))
 
     @property
     def warm_starts(self) -> int:
@@ -200,7 +470,7 @@ class Telemetry:
 
     def latencies(self) -> np.ndarray:
         """Per-invocation startup latencies in arrival order."""
-        return np.array([r.startup_latency_s for r in self.records], dtype=np.float64)
+        return np.array(self._latency, dtype=np.float64)
 
     def cumulative_latency(self) -> np.ndarray:
         """Cumulative startup latency vs arrival index (Fig. 9 series)."""
@@ -208,25 +478,24 @@ class Telemetry:
 
     def cumulative_cold_starts(self) -> np.ndarray:
         """Cumulative cold-start counts vs arrival index."""
-        flags = np.array([r.cold_start for r in self.records], dtype=np.int64)
-        return np.cumsum(flags)
+        return np.cumsum(np.array(self._cold, dtype=np.int64))
 
     def match_histogram(self) -> Dict[MatchLevel, int]:
         """How many starts happened at each match level."""
-        hist: Dict[MatchLevel, int] = {lvl: 0 for lvl in MatchLevel}
-        for r in self.records:
-            hist[r.match] += 1
-        return hist
+        counts = [0] * len(_MATCH_MEMBERS)
+        for m in self._match:
+            counts[m] += 1
+        return {lvl: counts[int(lvl)] for lvl in _MATCH_MEMBERS}
 
     @property
     def total_queueing_s(self) -> float:
         """Total time startups spent queued for worker slots."""
-        return float(sum(self.queue_delays))
+        return float(sum(self._queue_delays))
 
     @property
     def queued_starts(self) -> int:
         """How many startups had to wait for a worker slot."""
-        return sum(1 for d in self.queue_delays if d > 0)
+        return sum(1 for d in self._queue_delays if d > 0)
 
     def worker_utilization(self) -> Dict[int, float]:
         """Busy fraction per worker over the run's duration.
@@ -249,7 +518,7 @@ class Telemetry:
     def queueing_summary(self) -> Dict[str, float]:
         """Scalar queueing/utilization block (appended to :meth:`summary`
         when a worker concurrency limit was enforced)."""
-        delays = np.array(self.queue_delays, dtype=np.float64)
+        delays = np.array(self._queue_delays, dtype=np.float64)
         utilization = list(self.worker_utilization().values())
         return {
             "total_queueing_s": float(delays.sum()) if delays.size else 0.0,
@@ -269,19 +538,21 @@ class Telemetry:
 
     def per_function_mean_latency(self) -> Dict[str, float]:
         """Mean startup latency per function name."""
-        sums: Dict[str, float] = {}
-        counts: Dict[str, int] = {}
-        for r in self.records:
-            sums[r.function_name] = sums.get(r.function_name, 0.0) + r.startup_latency_s
-            counts[r.function_name] = counts.get(r.function_name, 0) + 1
-        return {name: sums[name] / counts[name] for name in sums}
+        sums: Dict[int, float] = {}
+        counts: Dict[int, int] = {}
+        for ix, latency in zip(self._fn_ix, self._latency):
+            sums[ix] = sums.get(ix, 0.0) + latency
+            counts[ix] = counts.get(ix, 0) + 1
+        names = self._names
+        return {names[ix]: sums[ix] / counts[ix] for ix in sums}
 
     def summary(self) -> Dict[str, float]:
         """Scalar summary used by experiment reports.
 
-        The queueing/utilization block is only present when the run
-        enforced a worker concurrency limit, so summaries of runs without
-        admission control are unchanged from the pre-queueing simulator.
+        One pass over the columns; the queueing/utilization block is only
+        present when the run enforced a worker concurrency limit, so
+        summaries of runs without admission control are unchanged from the
+        pre-queueing simulator.
         """
         lat = self.latencies()
         base = {

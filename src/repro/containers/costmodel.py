@@ -33,6 +33,15 @@ from repro.containers.matching import MatchLevel
 from repro.packages.package import Package, PackageLevel
 
 
+#: Content-address version of the cost model: bump whenever breakdown math
+#: or the default parameters change in a way that alters computed latencies
+#: for identical inputs.  Part of every experiment-cache key
+#: (:mod:`repro.experiments.cache`); the default parameter values are
+#: additionally fingerprinted there, so this only needs a bump for *logic*
+#: changes.
+COST_MODEL_VERSION = 1
+
+
 class StartupPhase(enum.Enum):
     """The phases of a function start."""
 

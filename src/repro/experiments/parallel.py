@@ -9,11 +9,20 @@ workers.
 Determinism is by construction:
 
 * a task carries *names and seeds*, never live objects -- each worker
-  rebuilds the workload (``build_workload(name, seed)``) and a fresh
-  scheduler, so results are a pure function of the task;
+  rebuilds the workload and a fresh scheduler, so results are a pure
+  function of the task (workloads are memoized per process by
+  ``(name, seed)``, which is equivalence-preserving because
+  ``build_workload`` is deterministic and workloads are frozen);
 * results return in task order (``Pool.map`` preserves it), so the merged
   telemetry and the rendered report are byte-identical for any ``jobs``
   value, including ``jobs=1`` (which short-circuits to an in-process loop).
+
+IPC is columnar: a worker ships back ``(method, summary-keys tuple,
+array('d') values)`` -- a few hundred bytes -- instead of a pickled object
+graph, and both the serial and the parallel path round-trip through the
+same packer so their cells are identical by construction.  With an
+:class:`~repro.experiments.cache.ExperimentCache` attached, cached cells
+are served from disk and only the misses fan out to workers.
 
 Wired into ``python -m repro.experiments.runall --jobs N`` and
 ``python -m repro simulate --jobs N``.  MLCR is absent from
@@ -25,16 +34,18 @@ in-process cache).
 from __future__ import annotations
 
 import multiprocessing
+from array import array
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.report import ascii_table
+from repro.experiments.cache import ExperimentCache, pool_sizes_cached
 from repro.experiments.common import (
     ExperimentScale,
     evaluate_scheduler,
-    pool_sizes,
 )
 from repro.workloads.fstartbench import build_workload
+from repro.workloads.workload import Workload
 
 #: Scheduler registry: CLI name -> class name in :mod:`repro.schedulers`.
 #: Every entry builds with no constructor arguments, which is what makes
@@ -96,6 +107,34 @@ class GridCell:
         return self.summary["cold_starts"]
 
 
+#: Packed IPC form of one cell: ``(method, summary keys, summary values)``.
+#: Keys are a tuple of interned strings and values a flat ``array('d')``
+#: block, so pickling a worker result costs a few hundred bytes instead of
+#: an object graph; doubles round-trip exactly.
+PackedCell = Tuple[str, Tuple[str, ...], "array"]
+
+#: Per-process workload memo keyed by ``(name, seed)``: grid tasks in the
+#: same worker that share a workload draw skip rebuilding it.  Safe because
+#: :class:`~repro.workloads.workload.Workload` is frozen and
+#: ``build_workload`` is deterministic, so reuse is observationally
+#: identical to a rebuild.
+_WORKLOAD_CACHE: Dict[Tuple[str, int], Workload] = {}
+
+
+def cached_workload(name: str, seed: int) -> Workload:
+    """Build (or fetch the process-local memo of) one workload draw."""
+    key = (name, seed)
+    workload = _WORKLOAD_CACHE.get(key)
+    if workload is None:
+        workload = _WORKLOAD_CACHE[key] = build_workload(name, seed=seed)
+    return workload
+
+
+def clear_workload_cache() -> None:
+    """Drop the process-local workload memo (used by tests)."""
+    _WORKLOAD_CACHE.clear()
+
+
 def run_task(task: GridTask) -> GridCell:
     """Execute one grid cell (the worker entry point).
 
@@ -103,7 +142,7 @@ def run_task(task: GridTask) -> GridCell:
     result is deterministic regardless of which process runs it.
     """
     scheduler = build_scheduler(task.scheduler)
-    workload = build_workload(task.workload, seed=task.seed)
+    workload = cached_workload(task.workload, task.seed)
     result = evaluate_scheduler(
         scheduler, workload, task.capacity_mb, task.pool_label
     )
@@ -114,6 +153,25 @@ def run_task(task: GridTask) -> GridCell:
     )
 
 
+def pack_cell(cell: GridCell) -> PackedCell:
+    """Flatten a cell into the columnar IPC block (task omitted: the
+    parent already holds it)."""
+    summary = cell.summary
+    return cell.method, tuple(summary.keys()), array("d", summary.values())
+
+
+def unpack_cell(task: GridTask, packed: PackedCell) -> GridCell:
+    """Rebuild a cell from its columnar IPC block."""
+    method, keys, values = packed
+    return GridCell(task=task, method=method,
+                    summary=dict(zip(keys, values)))
+
+
+def _run_task_packed(task: GridTask) -> PackedCell:
+    """Worker entry point returning the columnar IPC block."""
+    return pack_cell(run_task(task))
+
+
 def _pool_context():
     """Pick a multiprocessing start method (fork where available)."""
     try:
@@ -122,18 +180,52 @@ def _pool_context():
         return multiprocessing.get_context("spawn")
 
 
-def run_grid(tasks: Sequence[GridTask], jobs: int = 1) -> List[GridCell]:
+def run_grid(
+    tasks: Sequence[GridTask],
+    jobs: int = 1,
+    cache: Optional[ExperimentCache] = None,
+) -> List[GridCell]:
     """Run every task, fanning across ``jobs`` worker processes.
 
     ``jobs <= 1`` runs in-process.  Results always come back in task
     order, so downstream merging is independent of scheduling jitter.
+    Serial and parallel paths round-trip through the same columnar packer,
+    so their cells are equal by construction.
+
+    With ``cache`` given (and enabled), each task is first looked up by
+    its content address; only the misses are simulated (and then stored),
+    so a warm cache re-runs nothing.  Cached and fresh cells are
+    bit-identical -- the ``cached_vs_fresh`` differential oracle enforces
+    this.
     """
     tasks = list(tasks)
-    if jobs <= 1 or len(tasks) <= 1:
-        return [run_task(task) for task in tasks]
-    ctx = _pool_context()
-    with ctx.Pool(processes=min(jobs, len(tasks))) as pool:
-        return pool.map(run_task, tasks)
+    cells: List[Optional[GridCell]] = [None] * len(tasks)
+    use_cache = cache is not None and cache.enabled
+    if use_cache:
+        misses = []
+        for i, task in enumerate(tasks):
+            hit = cache.get_cell(task)
+            if hit is not None:
+                cells[i] = hit
+            else:
+                misses.append(i)
+    else:
+        misses = list(range(len(tasks)))
+    if misses:
+        if jobs <= 1 or len(misses) <= 1:
+            packed = [_run_task_packed(tasks[i]) for i in misses]
+        else:
+            ctx = _pool_context()
+            with ctx.Pool(processes=min(jobs, len(misses))) as pool:
+                packed = pool.map(
+                    _run_task_packed, [tasks[i] for i in misses]
+                )
+        for i, block in zip(misses, packed):
+            cell = unpack_cell(tasks[i], block)
+            cells[i] = cell
+            if use_cache:
+                cache.put_cell(cell)
+    return cells
 
 
 @dataclass(frozen=True)
@@ -197,18 +289,21 @@ def default_grid(
     schedulers: Sequence[str] = BASELINE_KEYS,
     pool_labels: Optional[Sequence[str]] = None,
     seeds: Optional[Sequence[int]] = None,
+    cache: Optional[ExperimentCache] = None,
 ) -> List[GridTask]:
     """The standard ``(scheduler x workload x pool size x seed)`` grid.
 
     Capacities are derived per workload from the paper's Tight / Moderate /
     Loose sizing (seed-0 reference run, exactly as the figure experiments
-    do).  ``seeds`` defaults to ``range(scale.repeats)``.
+    do; with ``cache`` given the sizing is served content-addressed and the
+    reference run is skipped).  ``seeds`` defaults to
+    ``range(scale.repeats)``.
     """
     scale = scale or ExperimentScale.from_env()
     seeds = list(seeds) if seeds is not None else list(range(scale.repeats))
     tasks: List[GridTask] = []
     for workload in workloads:
-        capacities = pool_sizes(build_workload(workload, seed=0))
+        capacities = pool_sizes_cached(workload, 0, cache)
         labels = list(pool_labels) if pool_labels is not None else list(capacities)
         for pool_label in labels:
             capacity = capacities[pool_label]
@@ -227,11 +322,17 @@ def default_grid(
 def run_default_grid(
     scale: Optional[ExperimentScale] = None,
     jobs: int = 1,
+    cache: Optional[ExperimentCache] = None,
     **grid_kwargs,
 ) -> GridResult:
-    """Build :func:`default_grid` and run it with ``jobs`` workers."""
-    tasks = default_grid(scale, **grid_kwargs)
-    return GridResult(cells=run_grid(tasks, jobs=jobs))
+    """Build :func:`default_grid` and run it with ``jobs`` workers.
+
+    ``cache`` (optional) serves both the pool sizing and the grid cells
+    content-addressed; the rendered report is byte-identical with the
+    cache on, off, cold or warm.
+    """
+    tasks = default_grid(scale, cache=cache, **grid_kwargs)
+    return GridResult(cells=run_grid(tasks, jobs=jobs, cache=cache))
 
 
 def report(result: GridResult) -> str:

@@ -2,21 +2,34 @@
 
 Used to regenerate the data section of EXPERIMENTS.md::
 
-    python -m repro.experiments.runall [output.md] [--figures DIR] [--jobs N]
+    python -m repro.experiments.runall [output.md] [--figures DIR]
+        [--jobs N] [--no-cache] [--profile]
 
 Honors ``REPRO_SCALE``.  The MLCR training cache is shared across
 experiments, so fig8/fig9/fig10 train each pool size once.  With
 ``--figures`` the fig8/9/10/11 results are additionally rendered as SVG
 files into the given directory.  ``--jobs N`` fans the baseline grid
 section over N worker processes (its report text is identical for any N).
+
+Section bodies are deterministic (no timestamps; every seed fixed), so
+each is additionally served from the content-addressed experiment cache
+(:mod:`repro.experiments.cache`): a warm-cache re-run skips every
+simulation and re-training and just re-assembles the report, byte-for-byte
+equal to the cold run's (wall-clock timings go to stdout only, never into
+the report).  ``--no-cache`` (or
+``REPRO_CACHE=off``) forces fresh runs; ``--figures`` bypasses the section
+cache too, because rendering needs the in-memory result objects a cached
+body no longer carries.  ``--profile`` runs everything under cProfile and
+prints the top-25 cumulative-time entries.
 """
 
 from __future__ import annotations
 
 import sys
 import time
+from dataclasses import asdict
 from pathlib import Path
-from typing import Callable, List, Tuple
+from typing import Callable, List, Optional, Tuple
 
 from repro.experiments import (
     ablations,
@@ -32,11 +45,13 @@ from repro.experiments import (
     queueing,
     tab2_functions,
 )
+from repro.experiments.cache import ExperimentCache
 from repro.experiments.common import ExperimentScale
 
 
 def _experiments(
-    scale: ExperimentScale, collected: dict, jobs: int = 1
+    scale: ExperimentScale, collected: dict, jobs: int = 1,
+    cache: Optional[ExperimentCache] = None,
 ) -> List[Tuple[str, str, Callable[[], str]]]:
     def keep(key: str, result):
         collected[key] = result
@@ -78,7 +93,8 @@ def _experiments(
         ("queueing", "Extension - worker concurrency & queueing",
          lambda: queueing.report(queueing.run(scale))),
         ("grid", "Baseline grid (parallel runner)",
-         lambda: parallel.run_default_grid(scale, jobs=jobs).report()),
+         lambda: parallel.run_default_grid(scale, jobs=jobs,
+                                           cache=cache).report()),
     ]
 
 
@@ -87,29 +103,51 @@ def run_all(
     scale: ExperimentScale | None = None,
     figures_dir: Path | None = None,
     jobs: int = 1,
+    cache: Optional[ExperimentCache] = None,
 ) -> str:
     """Run every experiment; returns (and optionally writes) the report.
 
     ``jobs`` only parallelizes the grid section; its report text does not
-    depend on the worker count.
+    depend on the worker count.  With ``cache`` given, section bodies are
+    served content-addressed (except when ``figures_dir`` is set, which
+    needs the in-memory results); a warm cache turns the whole run into
+    file reads.
     """
     scale = scale or ExperimentScale.from_env()
     collected: dict = {}
+    scale_fields = asdict(scale)
+    # Figure rendering needs the result objects the section runners feed
+    # into ``collected``; a cached body cannot provide them.
+    use_section_cache = (
+        cache is not None and cache.enabled and figures_dir is None
+    )
     sections: List[str] = [
         "# MLCR reproduction - full experiment run",
         f"scale: repeats={scale.repeats}, "
         f"train_episodes={scale.train_episodes}, restarts={scale.restarts}",
     ]
-    for _key, title, runner in _experiments(scale, collected, jobs):
+    for key, title, runner in _experiments(scale, collected, jobs, cache):
         start = time.time()
-        print(f"running: {title} ...", flush=True)
-        try:
-            body = runner()
-        except Exception as exc:  # pragma: no cover - surfaced, not hidden
-            body = f"FAILED: {exc!r}"
+        cached_body = (
+            cache.get_section(key, scale_fields)
+            if use_section_cache else None
+        )
+        if cached_body is not None:
+            print(f"cached: {title}", flush=True)
+            body = cached_body
+        else:
+            print(f"running: {title} ...", flush=True)
+            try:
+                body = runner()
+            except Exception as exc:  # pragma: no cover - surfaced, not hidden
+                body = f"FAILED: {exc!r}"
+            else:
+                if use_section_cache:
+                    cache.put_section(key, scale_fields, body)
         elapsed = time.time() - start
-        sections.append(f"\n## {title}\n\n```\n{body}\n```\n"
-                        f"_({elapsed:.1f}s)_")
+        # Wall-clock goes to stdout only: the report itself must be
+        # byte-identical across jobs counts and cache states.
+        sections.append(f"\n## {title}\n\n```\n{body}\n```")
         print(f"  done in {elapsed:.1f}s", flush=True)
     if figures_dir is not None:
         from repro.experiments.figures import save_figures
@@ -126,10 +164,14 @@ def run_all(
     return text
 
 
-def _parse_args(argv: List[str]) -> Tuple[Path | None, Path | None, int]:
+def _parse_args(
+    argv: List[str],
+) -> Tuple[Path | None, Path | None, int, bool, bool]:
     output: Path | None = None
     figures: Path | None = None
     jobs = 1
+    no_cache = False
+    profile = False
     rest = list(argv)
     while rest:
         arg = rest.pop(0)
@@ -141,11 +183,25 @@ def _parse_args(argv: List[str]) -> Tuple[Path | None, Path | None, int]:
             if not rest:
                 raise SystemExit("--jobs needs a worker count")
             jobs = int(rest.pop(0))
+        elif arg == "--no-cache":
+            no_cache = True
+        elif arg == "--profile":
+            profile = True
         else:
             output = Path(arg)
-    return output, figures, jobs
+    return output, figures, jobs, no_cache, profile
 
 
 if __name__ == "__main__":  # pragma: no cover - CLI convenience
-    out, figs, n_jobs = _parse_args(sys.argv[1:])
-    run_all(out, figures_dir=figs, jobs=n_jobs)
+    out, figs, n_jobs, no_cache, profile = _parse_args(sys.argv[1:])
+    run_cache = ExperimentCache(enabled=False if no_cache else None)
+
+    def _main() -> str:
+        return run_all(out, figures_dir=figs, jobs=n_jobs, cache=run_cache)
+
+    if profile:
+        from repro.profiling import profile_call
+
+        profile_call(_main)
+    else:
+        _main()

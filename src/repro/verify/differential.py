@@ -23,6 +23,10 @@ v1_float64_vs_float32      a v1 (unfused float64) checkpoint served in
 sequential_vs_batched      ``MLCRTrainer.rollout`` with
                            ``batched_rollouts`` on/off (identical
                            outcomes and replay-buffer fill)
+cached_vs_fresh            ``run_grid`` without a cache == with a cold
+                           cache == with a warm cache (identical cell
+                           summaries and report bytes; warm run is all
+                           hits)
 =========================  ==============================================
 
 Runnable as the ``tests/test_verify_differential.py`` pytest suite and as
@@ -49,7 +53,8 @@ from repro.core.mlcr import train_mlcr_scheduler
 from repro.core.state import StateEncoder
 from repro.core.trainer import EVAL_EPISODE_BASE, MLCRTrainer
 from repro.drl.dqn import DQNConfig, masked_argmax
-from repro.experiments.parallel import GridTask, run_grid
+from repro.experiments.cache import ExperimentCache
+from repro.experiments.parallel import GridResult, GridTask, run_grid
 from repro.schedulers.greedy import GreedyMatchScheduler
 from repro.workloads.fstartbench import build_workload
 from repro.workloads.functions import function_by_id
@@ -362,6 +367,49 @@ def oracle_sequential_vs_batched() -> OracleResult:
     )
 
 
+def oracle_cached_vs_fresh() -> OracleResult:
+    """Grid cells and reports are bit-identical fresh, cold- and
+    warm-cached."""
+    name = "cached_vs_fresh"
+    tasks = [
+        GridTask(scheduler=key, workload="LO-Sim", seed=seed,
+                 pool_label="Fixed", capacity_mb=2000.0)
+        for key in ("lru", "greedy")
+        for seed in (0, 1)
+    ]
+    fresh = run_grid(tasks, jobs=1)
+    with tempfile.TemporaryDirectory() as tmp:
+        cache = ExperimentCache(root=Path(tmp), enabled=True)
+        cold = run_grid(tasks, jobs=1, cache=cache)
+        cold_misses = cache.misses
+        warm = run_grid(tasks, jobs=1, cache=cache)
+        warm_hits = cache.hits
+    if cold_misses != len(tasks):
+        return OracleResult(
+            name, False, f"cold run: {cold_misses} misses, "
+                         f"expected {len(tasks)}"
+        )
+    if warm_hits != len(tasks):
+        return OracleResult(
+            name, False, f"warm run: {warm_hits} hits, expected {len(tasks)}"
+        )
+    for label, cells in (("cold", cold), ("warm", warm)):
+        for i, (a, b) in enumerate(zip(fresh, cells)):
+            if a.method != b.method or a.summary != b.summary:
+                return OracleResult(
+                    name, False, f"{label} cell {i} differs from fresh"
+                )
+    reports = {label: GridResult(cells=cells).report()
+               for label, cells in (("fresh", fresh), ("cold", cold),
+                                    ("warm", warm))}
+    if len(set(reports.values())) != 1:
+        return OracleResult(name, False, "rendered reports differ")
+    return OracleResult(
+        name, True,
+        f"{len(tasks)} cells identical fresh/cold/warm, report bytes equal"
+    )
+
+
 #: Registry of every differential oracle, in documentation order.
 ORACLES: Dict[str, Callable[[], OracleResult]] = {
     "batch_vs_incremental": oracle_batch_vs_incremental,
@@ -370,6 +418,7 @@ ORACLES: Dict[str, Callable[[], OracleResult]] = {
     "fused_vs_unfused_qkv": oracle_fused_vs_unfused_qkv,
     "v1_float64_vs_float32": oracle_v1_float64_vs_float32,
     "sequential_vs_batched": oracle_sequential_vs_batched,
+    "cached_vs_fresh": oracle_cached_vs_fresh,
 }
 
 

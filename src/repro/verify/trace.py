@@ -255,9 +255,39 @@ def _run_cell(spec: TraceSpec) -> Tuple[float, SimulationResult]:
 
 
 def record_trace(spec: TraceSpec) -> Trace:
-    """Simulate the spec's cell and capture its full decision trace."""
+    """Simulate the spec's cell and capture its full decision trace.
+
+    Reads the telemetry's invocation columns directly
+    (:meth:`~repro.cluster.telemetry.Telemetry.invocation_columns`), so no
+    :class:`~repro.cluster.telemetry.InvocationRecord` objects are
+    materialized on the recording path; the line values are identical to
+    :meth:`TraceLine.from_record` over the row view.
+    """
     capacity, result = _run_cell(spec)
-    records = result.telemetry.records
+    cols = result.telemetry.invocation_columns()
+    lines = tuple(
+        TraceLine(
+            index=i,
+            invocation_id=inv,
+            function=fn,
+            arrival=arrival,
+            cold=bool(cold),
+            container_id=cid,
+            match=match,
+            latency_s=latency,
+            queue_s=queue,
+            worker=worker,
+            exec_s=exec_s,
+        )
+        for i, (inv, fn, arrival, cold, cid, match, latency, queue, worker,
+                exec_s)
+        in enumerate(zip(
+            cols.invocation_id, cols.function_name, cols.arrival_time,
+            cols.cold_start, cols.container_id, cols.match,
+            cols.startup_latency_s, cols.queue_delay_s, cols.worker_id,
+            cols.execution_time_s,
+        ))
+    )
     return Trace(
         header=TraceHeader(
             version=TRACE_FORMAT_VERSION,
@@ -266,12 +296,9 @@ def record_trace(spec: TraceSpec) -> Trace:
             seed=spec.seed,
             pool=spec.pool,
             capacity_mb=capacity,
-            n_events=len(records),
+            n_events=len(lines),
         ),
-        lines=tuple(
-            TraceLine.from_record(i, record)
-            for i, record in enumerate(records)
-        ),
+        lines=lines,
     )
 
 

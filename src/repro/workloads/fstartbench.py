@@ -37,6 +37,13 @@ from repro.workloads.functions import FunctionSpec, functions_by_ids
 from repro.workloads.metrics import workload_similarity, workload_size_variance
 from repro.workloads.workload import Workload, assemble
 
+#: Content-address version of the workload generators: bump whenever any
+#: builder below would emit a different invocation stream for the same
+#: ``(name, seed)`` (new arrival model, changed type sets, changed counts).
+#: Part of every experiment-cache key (:mod:`repro.experiments.cache`), so
+#: bumping it invalidates all cached cells and sections at once.
+WORKLOAD_GENERATOR_VERSION = 1
+
 LO_SIM_TYPES = (1, 2, 5, 9, 13)
 HI_SIM_TYPES = (1, 2, 3, 4, 11)
 LO_VAR_TYPES = HI_SIM_TYPES   # measured-low package-size variance

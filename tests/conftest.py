@@ -17,6 +17,17 @@ from repro.workloads.functions import FunctionSpec, function_by_id
 from repro.workloads.workload import Invocation
 
 
+@pytest.fixture(autouse=True)
+def _isolated_experiment_cache(tmp_path, monkeypatch):
+    """Point the content-addressed experiment cache at a per-test tmp dir.
+
+    Keeps CLI/experiment tests from writing ``.repro_cache/`` into the
+    repo and from serving each other stale state across runs (explicit
+    ``ExperimentCache(root=...)`` construction in tests is unaffected).
+    """
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "repro_cache"))
+
+
 @pytest.fixture(scope="session")
 def catalog():
     return default_catalog()

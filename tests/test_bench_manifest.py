@@ -6,7 +6,9 @@ Three artifacts must stay in sync:
   default set or explicitly listed as heavy (and vice versa -- no ghost
   registrations);
 * every benchmark test in the default set has a baseline entry in
-  ``benchmarks/bench_baseline.json``;
+  ``benchmarks/bench_baseline.json`` -- unless it opts out of the
+  regression guard with ``benchmark.extra_info["no_guard"] = True``
+  (detected here via the AST, mirroring the capture tool's JSON filter);
 * every baseline entry corresponds to a benchmark test that still exists.
 
 A new benchmark file that is neither captured nor declared heavy, or a
@@ -39,14 +41,34 @@ def _load_bench_capture():
 bench_capture = _load_bench_capture()
 
 
+def _opts_out_of_guard(func: ast.AST) -> bool:
+    """True if the test body sets ``benchmark.extra_info["no_guard"]``."""
+    for node in ast.walk(func):
+        if not (isinstance(node, ast.Assign) and len(node.targets) == 1):
+            continue
+        target = node.targets[0]
+        if (isinstance(target, ast.Subscript)
+                and isinstance(target.value, ast.Attribute)
+                and target.value.attr == "extra_info"
+                and isinstance(target.slice, ast.Constant)
+                and target.slice.value == "no_guard"):
+            return True
+    return False
+
+
 def _benchmark_tests(path: Path) -> set:
-    """Names of the benchmark tests a bench file defines (via the AST)."""
+    """Names of the guarded benchmark tests a bench file defines (AST).
+
+    Tests that opt out of the regression guard are excluded: the capture
+    tool never writes baseline entries for them.
+    """
     tree = ast.parse(path.read_text())
     names = set()
     for node in ast.walk(tree):
         if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
             args = {a.arg for a in node.args.args}
-            if node.name.startswith("test_") and "benchmark" in args:
+            if (node.name.startswith("test_") and "benchmark" in args
+                    and not _opts_out_of_guard(node)):
                 names.add(node.name)
     return names
 

@@ -1,0 +1,224 @@
+"""Hypothesis parity: columnar Telemetry vs the legacy list reference.
+
+Random event streams are fed to both
+:class:`repro.cluster.telemetry.Telemetry` (struct-of-arrays) and
+:class:`repro.cluster.telemetry_reference.LegacyTelemetry` (the
+list-of-records implementation it replaced); every observable --
+``summary()``, the materialized records, the queueing report, trace-line
+serializations -- must be byte-identical, because downstream reports and
+golden traces were recorded against the legacy semantics.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.report import queueing_report, worker_utilization_report
+from repro.cluster.telemetry import Telemetry
+from repro.cluster.telemetry_reference import LegacyTelemetry
+from repro.verify.trace import TraceLine
+
+FUNCTION_NAMES = ("alpha", "beta", "gamma", "delta-9", "f")
+
+finite = st.floats(min_value=0.0, max_value=1e6, allow_nan=False,
+                   allow_infinity=False)
+
+event_strategy = st.tuples(
+    st.integers(min_value=0, max_value=10**6),      # invocation_id
+    st.sampled_from(FUNCTION_NAMES),                # function_name
+    finite,                                         # arrival_time
+    st.integers(min_value=0, max_value=500),        # container_id
+    st.booleans(),                                  # cold_start
+    st.integers(min_value=0, max_value=3),          # match level
+    finite,                                         # startup_latency_s
+    finite, finite, finite, finite, finite, finite,  # breakdown phases
+    finite,                                         # execution_time_s
+    finite,                                         # queue_delay_s
+    st.integers(min_value=0, max_value=7),          # worker_id
+)
+
+stream_strategy = st.lists(event_strategy, max_size=60)
+
+
+def _pair(queueing: bool = False):
+    return (
+        Telemetry(queueing_enabled=queueing),
+        LegacyTelemetry(queueing_enabled=queueing),
+    )
+
+
+def _feed(telemetries, events):
+    for t in telemetries:
+        for event in events:
+            t.record_invocation_values(*event)
+
+
+@settings(max_examples=40, deadline=None)
+@given(events=stream_strategy)
+def test_summary_and_records_parity(events):
+    columnar, legacy = _pair()
+    _feed((columnar, legacy), events)
+
+    assert columnar.summary() == legacy.summary()
+    assert columnar.records == legacy.records
+    assert columnar.n_invocations == legacy.n_invocations
+    assert columnar.latencies().tolist() == legacy.latencies().tolist()
+    assert (columnar.cumulative_latency().tolist()
+            == legacy.cumulative_latency().tolist())
+    assert (columnar.cumulative_cold_starts().tolist()
+            == legacy.cumulative_cold_starts().tolist())
+    assert columnar.match_histogram() == legacy.match_histogram()
+    assert (columnar.per_function_mean_latency()
+            == legacy.per_function_mean_latency())
+
+
+@settings(max_examples=40, deadline=None)
+@given(events=stream_strategy)
+def test_trace_line_bytes_parity(events):
+    """Golden-trace lines from the columns == lines from the row view."""
+    columnar, legacy = _pair()
+    _feed((columnar, legacy), events)
+
+    cols = columnar.invocation_columns()
+    from_columns = [
+        TraceLine(
+            index=i, invocation_id=inv, function=fn, arrival=arrival,
+            cold=bool(cold), container_id=cid, match=match,
+            latency_s=latency, queue_s=queue, worker=worker, exec_s=exec_s,
+        ).to_json()
+        for i, (inv, fn, arrival, cold, cid, match, latency, queue, worker,
+                exec_s)
+        in enumerate(zip(
+            cols.invocation_id, cols.function_name, cols.arrival_time,
+            cols.cold_start, cols.container_id, cols.match,
+            cols.startup_latency_s, cols.queue_delay_s, cols.worker_id,
+            cols.execution_time_s,
+        ))
+    ]
+    from_records = [
+        TraceLine.from_record(i, record).to_json()
+        for i, record in enumerate(legacy.records)
+    ]
+    assert from_columns == from_records
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    delays=st.lists(st.floats(min_value=0.0, max_value=60.0,
+                              allow_nan=False), max_size=40),
+    busy=st.lists(
+        st.tuples(st.integers(min_value=0, max_value=3),
+                  st.floats(min_value=0.0, max_value=100.0,
+                            allow_nan=False)),
+        max_size=20,
+    ),
+    depth=st.integers(min_value=0, max_value=12),
+    duration=st.one_of(
+        st.just(0.0),
+        st.floats(min_value=0.1, max_value=500.0, allow_nan=False),
+    ),
+    slots=st.integers(min_value=1, max_value=4),
+)
+def test_queueing_parity(delays, busy, depth, duration, slots):
+    columnar, legacy = _pair(queueing=True)
+    for t in (columnar, legacy):
+        t.worker_slots = slots
+        for delay in delays:
+            t.record_queueing(delay)
+        for worker, seconds in busy:
+            t.record_worker_busy(worker, seconds)
+        t.record_queue_depth(depth)
+        t.duration_s = duration
+
+    assert columnar.queueing_summary() == legacy.queueing_summary()
+    assert columnar.worker_utilization() == legacy.worker_utilization()
+    assert list(columnar.queue_delays) == list(legacy.queue_delays)
+    assert queueing_report(columnar) == queueing_report(legacy)
+    assert (worker_utilization_report(columnar)
+            == worker_utilization_report(legacy))
+    assert columnar.summary() == legacy.summary()
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    events=st.lists(
+        st.tuples(
+            finite,                                      # time
+            st.sampled_from(("create", "evict", "warm")),  # kind
+            st.one_of(st.none(), st.integers(min_value=0, max_value=99)),
+            st.one_of(st.none(), st.sampled_from(FUNCTION_NAMES)),
+            st.sampled_from(("", "detail", "x=1")),
+        ),
+        max_size=40,
+    ),
+)
+def test_trace_event_parity(events):
+    columnar, legacy = _pair()
+    columnar.trace_enabled = legacy.trace_enabled = True
+    for t in (columnar, legacy):
+        for event in events:
+            t.record_event(*event)
+    assert columnar.trace == legacy.trace
+    assert ([e.to_json() for e in columnar.trace]
+            == [e.to_json() for e in legacy.trace])
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    increments=st.lists(st.floats(min_value=0.001, max_value=10.0,
+                                  allow_nan=False), max_size=60),
+    values=st.lists(st.sampled_from((0.0, 128.0, 256.0, 512.0)),
+                    max_size=60),
+)
+def test_memory_timeline_dedup_preserves_step_function(increments, values):
+    """The deduped timeline draws the same piecewise-constant curve."""
+    n = min(len(increments), len(values))
+    samples = []
+    now = 0.0
+    for i in range(n):
+        now += increments[i]
+        samples.append((now, values[i]))
+
+    columnar, legacy = _pair()
+    for t, mb in samples:
+        columnar.sample_memory(t, mb)
+        legacy.sample_memory(t, mb)
+
+    assert columnar.peak_warm_memory_mb == legacy.peak_warm_memory_mb
+    timeline = columnar.memory_timeline
+    assert len(timeline) <= len(legacy.memory_timeline)
+    if samples:
+        assert timeline[0] == legacy.memory_timeline[0]
+        assert timeline[-1] == legacy.memory_timeline[-1]
+    # Every original sample must be readable off the deduped step curve.
+    for t, mb in legacy.memory_timeline:
+        current = None
+        for kept_t, kept_mb in timeline:
+            if kept_t <= t:
+                current = kept_mb
+        assert current == mb
+
+
+def test_memory_timeline_dedup_collapses_constant_run():
+    telemetry = Telemetry()
+    for i in range(10):
+        telemetry.sample_memory(float(i), 256.0)
+    telemetry.sample_memory(10.0, 512.0)
+    telemetry.sample_memory(11.0, 512.0)
+    assert telemetry.memory_timeline == [
+        (0.0, 256.0), (9.0, 256.0), (10.0, 512.0), (11.0, 512.0),
+    ]
+    assert telemetry.peak_warm_memory_mb == 512.0
+
+
+def test_records_view_is_cached_and_invalidates():
+    telemetry = Telemetry()
+    event = (1, "f", 0.0, 7, True, 2, 0.4,
+             0.1, 0.1, 0.1, 0.05, 0.05, 0.0, 1.0, 0.0, 0)
+    telemetry.record_invocation_values(*event)
+    first = telemetry.records
+    assert telemetry.records is first          # cached
+    telemetry.record_invocation_values(*event)
+    assert telemetry.records is not first      # new row invalidates
+    assert len(telemetry.records) == 2

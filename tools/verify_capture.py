@@ -11,13 +11,20 @@ Three stages, in order:
    ``tests/golden_traces/`` is replayed and must be bit-identical; the
    first divergence is printed.
 3. **Differential oracles** -- every oracle from
-   :mod:`repro.verify.differential`.
+   :mod:`repro.verify.differential` (including ``cached_vs_fresh``, the
+   experiment-cache equivalence check).
+
+``--with-bench`` appends a fourth stage: ``tools/bench_capture.py
+--compare benchmarks/bench_baseline.json``, which re-runs the
+micro-benchmarks and fails on any >30% mean regression.  Off by default
+because it takes benchmark-suite time, not verification time.
 
 Exits non-zero on the first failing stage (later stages still run so the
 report is complete).  Usage::
 
     PYTHONPATH=src python tools/verify_capture.py
     PYTHONPATH=src python tools/verify_capture.py --stage traces
+    PYTHONPATH=src python tools/verify_capture.py --with-bench
     PYTHONPATH=src python tools/verify_capture.py --regold   # rewrite goldens
 """
 
@@ -132,18 +139,41 @@ def stage_oracles() -> bool:
     return ok
 
 
+def stage_bench() -> bool:
+    """Run the benchmark regression gate; True when nothing regressed."""
+    import subprocess
+
+    result = subprocess.run(
+        [sys.executable, str(REPO_ROOT / "tools" / "bench_capture.py"),
+         "--compare",
+         str(REPO_ROOT / "benchmarks" / "bench_baseline.json")],
+        cwd=REPO_ROOT,
+    )
+    ok = result.returncode == 0
+    print(f"bench: {'ok' if ok else 'FAILED'}")
+    return ok
+
+
 STAGES = {
     "invariants": stage_invariants,
     "traces": stage_traces,
     "oracles": stage_oracles,
+    "bench": stage_bench,
 }
+
+#: Stages run without ``--stage``/``--with-bench``; the bench gate is
+#: opt-in because it costs benchmark-suite minutes.
+DEFAULT_STAGES = ("invariants", "traces", "oracles")
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--stage", choices=sorted(STAGES), default=None,
-                        help="run a single stage instead of all three")
+                        help="run a single stage instead of the default set")
+    parser.add_argument("--with-bench", action="store_true",
+                        help="also run the benchmark regression gate "
+                             "(tools/bench_capture.py --compare)")
     parser.add_argument("--regold", action="store_true",
                         help="rewrite the golden traces and exit")
     args = parser.parse_args(argv)
@@ -151,7 +181,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         for path in record_golden_traces(GOLDEN_ROOT):
             print(f"wrote {path}")
         return 0
-    stages = [args.stage] if args.stage else list(STAGES)
+    if args.stage:
+        stages = [args.stage]
+    else:
+        stages = list(DEFAULT_STAGES)
+        if args.with_bench:
+            stages.append("bench")
     ok = True
     for stage_name in stages:
         ok = STAGES[stage_name]() and ok

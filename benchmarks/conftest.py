@@ -84,6 +84,20 @@ def bench_regression_guard(request, bench_baseline):
     yield
     if benchmark is None:
         return
+    # Stamp the process's peak RSS into the benchmark record (Linux
+    # ru_maxrss is KB).  The capture tool runs each bench file in its own
+    # cold process and harvests this into ``{name}[rss_mb]`` baseline
+    # entries, so per-file memory regressions gate in its --compare mode
+    # (same cold-process conditions).  Recorded before the guard-off check
+    # on purpose: capture runs with the guard disabled.
+    try:
+        import resource
+
+        benchmark.extra_info["peak_rss_mb"] = (
+            resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+        )
+    except (ImportError, AttributeError):  # pragma: no cover - non-POSIX
+        pass
     if os.environ.get("REPRO_BENCH_GUARD", "").lower() in ("off", "0"):
         return
     if getattr(benchmark, "extra_info", {}).get("no_guard"):

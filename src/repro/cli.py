@@ -10,7 +10,7 @@ Commands
     Train an MLCR policy and save it to a ``.npz`` file.
 ``experiment``
     Run a paper experiment by id (fig1, fig2, fig3, tab2, fig8, fig9,
-    fig10, fig11a/b/c, overhead, ablations) and print its report.
+    fig10, fig11a/b/c, overhead, ablations, stream) and print its report.
 ``trace``
     Golden-trace tooling: ``record`` a decision trace for one
     (workload, scheduler, seed, pool) cell, ``replay`` a trace file and
@@ -42,7 +42,7 @@ _SCHEDULERS = SCHEDULER_FACTORIES
 
 _EXPERIMENTS = (
     "fig1", "fig2", "fig3", "tab2", "fig8", "fig9", "fig10",
-    "fig11a", "fig11b", "fig11c", "overhead", "ablations",
+    "fig11a", "fig11b", "fig11c", "overhead", "ablations", "stream",
 )
 
 
@@ -86,7 +86,9 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     reference run) are served from the content-addressed
     ``.repro_cache/`` unless ``--no-cache`` (or ``REPRO_CACHE=off``) is
     given; ``--profile`` prints the top cumulative-time entries of the
-    run.
+    run.  ``--stream`` feeds arrivals through the O(1)-memory streaming
+    pipeline (``run_stream``) instead of batch ``run``; the printed table
+    is identical either way.
     """
     from repro.experiments.cache import ExperimentCache, pool_sizes_cached
 
@@ -97,7 +99,8 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     keys = list(BASELINE_KEYS) if args.scheduler == "all" else [args.scheduler]
     tasks = [
         GridTask(scheduler=key, workload=args.workload, seed=args.seed,
-                 pool_label=args.pool.capitalize(), capacity_mb=capacity)
+                 pool_label=args.pool.capitalize(), capacity_mb=capacity,
+                 stream=args.stream)
         for key in keys
     ]
     if args.profile:
@@ -161,6 +164,7 @@ def cmd_experiment(args: argparse.Namespace) -> int:
     """``repro experiment``: run one paper experiment."""
     from repro.experiments import (
         ablations,
+        ext_stream_replay,
         fig1_breakdown,
         fig2_motivation,
         fig3_dockerhub,
@@ -184,6 +188,7 @@ def cmd_experiment(args: argparse.Namespace) -> int:
         "fig10": fig10_memory,
         "overhead": overhead,
         "ablations": ablations,
+        "stream": ext_stream_replay,
     }
     if args.id in simple:
         module = simple[args.id]
@@ -275,6 +280,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="worker processes for the scheduler runs")
     p.add_argument("--no-cache", action="store_true",
                    help="bypass the content-addressed experiment cache")
+    p.add_argument("--stream", action="store_true",
+                   help="feed arrivals through the O(1)-memory streaming "
+                        "pipeline (identical results to batch mode)")
     p.add_argument("--profile", action="store_true",
                    help="run under cProfile and print the top-25 "
                         "cumulative-time entries")

@@ -18,7 +18,8 @@ from repro.cluster.eviction import (
 )
 from repro.cluster.lifecycle import ContainerLifecycle, InvalidDecisionError
 from repro.cluster.placement import PlacementEngine
-from repro.cluster.telemetry import InvocationRecord, Telemetry
+from repro.cluster.sketches import QuantileSketch
+from repro.cluster.telemetry import BoundedTelemetry, InvocationRecord, Telemetry
 from repro.schedulers.base import Decision
 from repro.cluster.simulator import (
     ClusterSimulator,
@@ -45,6 +46,8 @@ __all__ = [
     "PlacementEngine",
     "InvalidDecisionError",
     "Telemetry",
+    "BoundedTelemetry",
+    "QuantileSketch",
     "InvocationRecord",
     "ClusterSimulator",
     "Decision",

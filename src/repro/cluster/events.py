@@ -1,8 +1,14 @@
 """Discrete-event machinery for the cluster simulator.
 
 A tiny, dependency-free event queue built on ``heapq``.  Events are ordered
-by ``(time, sequence)`` so that simultaneous events are processed in
-insertion order -- this keeps the simulator fully deterministic.
+by ``(time, priority, sequence)``: arrivals carry priority 0 and all other
+kinds priority 1, so a simultaneous arrival is always processed before a
+completion regardless of *when* it was scheduled; within a priority class,
+simultaneous events run in insertion order.  This keeps the simulator fully
+deterministic -- and makes the incremental arrival feed
+(``ClusterSimulator.run_stream``, which schedules each arrival just in
+time) pop events in exactly the order of the batch path, which schedules
+every arrival up front with the earliest sequence numbers.
 """
 
 from __future__ import annotations
@@ -27,10 +33,13 @@ class Event:
     """A scheduled simulator event.
 
     ``payload`` carries the invocation or container involved; it is excluded
-    from ordering so only ``(time, seq)`` determine processing order.
+    from ordering so only ``(time, priority, seq)`` determine processing
+    order.  ``priority`` is derived from the kind (0 for arrivals, 1
+    otherwise) by :meth:`EventQueue.push`.
     """
 
     time: float
+    priority: int
     seq: int
     kind: EventKind = field(compare=False)
     payload: Any = field(compare=False, default=None)
@@ -47,7 +56,13 @@ class EventQueue:
         """Schedule an event at ``time``; returns the created event."""
         if time < 0:
             raise ValueError("event time must be >= 0")
-        event = Event(time=time, seq=next(self._counter), kind=kind, payload=payload)
+        event = Event(
+            time=time,
+            priority=0 if kind is EventKind.ARRIVAL else 1,
+            seq=next(self._counter),
+            kind=kind,
+            payload=payload,
+        )
         heapq.heappush(self._heap, event)
         return event
 

@@ -21,15 +21,25 @@ The simulator is layered control-plane / data-plane:
 * :class:`ClusterSimulator` -- the thin policy driver that turns scheduler
   decisions into lifecycle/placement calls and telemetry records.
 
-The driver exposes two equivalent driving modes:
+The driver exposes three equivalent driving modes:
 
 * :meth:`ClusterSimulator.run` -- batch mode with a
-  :class:`~repro.schedulers.base.Scheduler`;
+  :class:`~repro.schedulers.base.Scheduler`: every arrival is queued up
+  front;
+* :meth:`ClusterSimulator.run_stream` -- streaming mode: arrivals are
+  pulled one at a time from a lazy
+  :class:`~repro.workloads.stream.InvocationStream`, so the event queue
+  holds exactly one future arrival (plus in-flight completions) and
+  replaying a million-invocation trace never materializes it.  Because
+  events are ordered ``(time, priority, seq)`` with arrivals at priority 0,
+  the pop order -- and therefore every decision, record and summary -- is
+  byte-identical to batch mode (the ``streaming_vs_materialized``
+  differential oracle enforces this);
 * the incremental API (:meth:`load` / :meth:`next_decision_point` /
   :meth:`apply_decision` / :meth:`finish`) used by the DRL environment, which
   needs to interleave learning with decisions.
 
-Both modes share every line of event-handling code, so trained policies see
+All modes share every line of event-handling code, so trained policies see
 exactly the dynamics they were trained on.  With ``worker_concurrency``
 unset the dynamics (and the resulting telemetry summaries) are identical
 to the pre-layering monolith.
@@ -38,7 +48,7 @@ to the pre-layering monolith.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, Iterable, Iterator, Optional
 
 from repro.cluster.eventloop import EventLoop
 from repro.cluster.events import EventKind
@@ -100,6 +110,16 @@ class SimulationConfig:
     worker_capacity_mb:
         Optional per-worker memory bound used to filter cold-start
         placement (see :class:`~repro.cluster.placement.PlacementEngine`).
+    bounded_telemetry:
+        Collect telemetry with
+        :class:`~repro.cluster.telemetry.BoundedTelemetry`: exact counters
+        plus relative-error quantile sketches instead of per-invocation
+        columns, so a 10M-invocation streaming replay records O(1) state.
+        Summaries carry the same keys; the latency/queueing percentiles
+        are sketch estimates (within the sketch's relative-accuracy bound)
+        rather than exact order statistics.  Row views
+        (``telemetry.records``, golden-trace recording) are unavailable in
+        this mode.
     verify:
         Attach the :mod:`repro.verify` invariant monitors
         (:class:`~repro.verify.invariants.VerificationHarness`): after
@@ -121,6 +141,7 @@ class SimulationConfig:
     trace: bool = False
     worker_concurrency: Optional[int] = None
     worker_capacity_mb: Optional[float] = None
+    bounded_telemetry: bool = False
     verify: bool = False
 
     def __post_init__(self) -> None:
@@ -165,11 +186,20 @@ class ClusterSimulator:
             config.pool_capacity_mb,
             n_shards=config.n_workers if config.per_worker_pools else 1,
         )
-        self.telemetry = Telemetry(
-            trace_enabled=config.trace,
-            queueing_enabled=config.worker_concurrency is not None,
-            worker_slots=config.worker_concurrency or 1,
-        )
+        if config.bounded_telemetry:
+            from repro.cluster.telemetry import BoundedTelemetry
+
+            self.telemetry: Telemetry = BoundedTelemetry(
+                trace_enabled=config.trace,
+                queueing_enabled=config.worker_concurrency is not None,
+                worker_slots=config.worker_concurrency or 1,
+            )
+        else:
+            self.telemetry = Telemetry(
+                trace_enabled=config.trace,
+                queueing_enabled=config.worker_concurrency is not None,
+                worker_slots=config.worker_concurrency or 1,
+            )
         self.workers = WorkerSet(config.n_workers)
         self.placement = PlacementEngine(
             self.workers,
@@ -192,6 +222,8 @@ class ClusterSimulator:
             ),
         )
         self._pending: Optional[Invocation] = None
+        self._arrival_source: Optional[Iterator[Invocation]] = None
+        self._last_arrival_t = 0.0
         self._workload_name = "<none>"
         self._finished = False
         if self.verifier is not None:
@@ -237,6 +269,65 @@ class ClusterSimulator:
         return self.finish(scheduler_name=scheduler.name)
 
     # ------------------------------------------------------------------
+    # Streaming mode
+    # ------------------------------------------------------------------
+    def run_stream(
+        self, stream: Iterable[Invocation], scheduler: Scheduler
+    ) -> SimulationResult:
+        """Simulate a lazy invocation stream end-to-end under ``scheduler``.
+
+        Equivalent to :meth:`run` on the materialized workload -- same
+        decisions, same telemetry rows, same summary -- but arrivals are
+        pulled from ``stream`` one at a time, so the event queue never
+        holds more than one future arrival and memory stays O(in-flight
+        containers) regardless of trace length.  Combine with
+        ``SimulationConfig(bounded_telemetry=True)`` to keep the telemetry
+        side O(1) as well.
+        """
+        self.load_stream(stream)
+        while True:
+            ctx = self.next_decision_point()
+            if ctx is None:
+                break
+            self._apply(scheduler.decide(ctx), want_record=False)
+        return self.finish(scheduler_name=scheduler.name)
+
+    def load_stream(self, stream: Iterable[Invocation]) -> None:
+        """Attach a lazy arrival source and schedule its first arrival.
+
+        The remaining arrivals are pulled one at a time as the simulation
+        progresses (each popped arrival primes the next).  The stream must
+        yield invocations in non-decreasing ``arrival_time`` order;
+        :meth:`_prime_next_arrival` raises ``ValueError`` otherwise, since
+        a late-discovered earlier arrival could no longer be scheduled in
+        the past.
+        """
+        if self._finished:
+            raise RuntimeError("simulator already finished; build a new one")
+        if self._arrival_source is not None:
+            raise RuntimeError("an arrival stream is already attached")
+        self._workload_name = getattr(stream, "name", "<stream>")
+        self._arrival_source = iter(stream)
+        self._prime_next_arrival()
+
+    def _prime_next_arrival(self) -> None:
+        """Schedule the next arrival from the attached stream, if any."""
+        source = self._arrival_source
+        if source is None:
+            return
+        inv = next(source, None)
+        if inv is None:
+            self._arrival_source = None
+            return
+        if inv.arrival_time < self._last_arrival_t:
+            raise ValueError(
+                "arrival stream is not sorted: got t="
+                f"{inv.arrival_time:.6f} after t={self._last_arrival_t:.6f}"
+            )
+        self._last_arrival_t = inv.arrival_time
+        self.loop.schedule(inv.arrival_time, EventKind.ARRIVAL, inv)
+
+    # ------------------------------------------------------------------
     # Incremental mode (used by the DRL environment)
     # ------------------------------------------------------------------
     def load(self, workload: Workload) -> None:
@@ -276,6 +367,10 @@ class ClusterSimulator:
         while (event := self.loop.pop_next()) is not None:
             if event.kind is EventKind.ARRIVAL:
                 self._pending = event.payload
+                # Streaming feed: replace the consumed arrival with the
+                # stream's next one before any decision is taken, so the
+                # queue again holds exactly one future arrival.
+                self._prime_next_arrival()
                 return self._context_for(self._pending)
             self._handle_non_arrival(event)
         return None

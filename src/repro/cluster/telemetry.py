@@ -29,6 +29,7 @@ from typing import Dict, List, NamedTuple, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.cluster.sketches import QuantileSketch
 from repro.containers.costmodel import StartupBreakdown
 from repro.containers.matching import MatchLevel
 
@@ -574,3 +575,202 @@ class Telemetry:
         if self.queueing_enabled:
             base.update(self.queueing_summary())
         return base
+
+
+class BoundedTelemetry(Telemetry):
+    """O(1)-memory metric collector for streaming million-invocation replays.
+
+    Same recording interface and :meth:`summary` key set as
+    :class:`Telemetry`, but per-invocation state is exact counters (counts,
+    sums, match histogram, peaks) plus :class:`~repro.cluster.sketches.\
+QuantileSketch` sketches for the latency/queueing percentiles, so memory
+    stays constant while a 10M-invocation replay streams through.  The
+    percentile summary cells (``p50_startup_s``, ``p95_startup_s``,
+    ``p95_queueing_s``) are sketch estimates within the sketch's relative
+    accuracy; every other cell is bit-exact.
+
+    Row-level views are structurally unavailable: :attr:`records`,
+    :meth:`invocation_columns`, :meth:`latencies` and friends raise
+    ``RuntimeError``, and structured tracing cannot be enabled (both are
+    inherently O(#invocations)).
+    """
+
+    def __init__(
+        self,
+        trace_enabled: bool = False,
+        queueing_enabled: bool = False,
+        worker_slots: int = 1,
+        relative_accuracy: float = 0.01,
+    ) -> None:
+        if trace_enabled:
+            raise ValueError(
+                "structured tracing is O(#invocations); "
+                "use the unbounded Telemetry for traced runs"
+            )
+        super().__init__(
+            trace_enabled=False,
+            queueing_enabled=queueing_enabled,
+            worker_slots=worker_slots,
+        )
+        self.relative_accuracy = relative_accuracy
+        self._n = 0
+        self._n_cold = 0
+        self._lat_total = 0.0
+        self._match_counts = [0] * len(_MATCH_MEMBERS)
+        self._lat_sketch = QuantileSketch(relative_accuracy)
+        self._queue_sketch = QuantileSketch(relative_accuracy)
+        self._queue_total = 0.0
+        self._n_queued = 0
+
+    # -- recording (bounded state only) --------------------------------------
+    def record_invocation_values(
+        self,
+        invocation_id: int,
+        function_name: str,
+        arrival_time: float,
+        container_id: int,
+        cold_start: bool,
+        match: int,
+        startup_latency_s: float,
+        create_s: float,
+        pull_s: float,
+        install_s: float,
+        runtime_init_s: float,
+        function_init_s: float,
+        clean_s: float,
+        execution_time_s: float,
+        queue_delay_s: float = 0.0,
+        worker_id: int = 0,
+    ) -> None:
+        """Fold one invocation into the counters and the latency sketch."""
+        self._n += 1
+        self._n_cold += cold_start
+        self._lat_total += startup_latency_s
+        self._match_counts[match] += 1
+        self._lat_sketch.insert(startup_latency_s)
+
+    def record_queueing(self, delay_s: float) -> None:
+        """Fold one queueing delay into the totals and the queue sketch."""
+        self._queue_total += delay_s
+        if delay_s > 0:
+            self._n_queued += 1
+        self._queue_sketch.insert(delay_s)
+
+    def sample_memory(self, now: float, used_mb: float) -> None:
+        """Track the warm-memory peak only (no O(#changes) timeline)."""
+        if used_mb > self.peak_warm_memory_mb:
+            self.peak_warm_memory_mb = used_mb
+
+    # -- aggregates (exact, from counters) -----------------------------------
+    @property
+    def n_invocations(self) -> int:
+        """Exact invocation count."""
+        return self._n
+
+    @property
+    def total_startup_latency_s(self) -> float:
+        """Exact total startup latency."""
+        return self._lat_total
+
+    @property
+    def mean_startup_latency_s(self) -> float:
+        """Exact mean startup latency."""
+        return self._lat_total / self._n if self._n else 0.0
+
+    @property
+    def cold_starts(self) -> int:
+        """Exact cold-start count."""
+        return self._n_cold
+
+    def match_histogram(self) -> Dict[MatchLevel, int]:
+        """Exact per-match-level start counts."""
+        return {lvl: self._match_counts[int(lvl)] for lvl in _MATCH_MEMBERS}
+
+    @property
+    def total_queueing_s(self) -> float:
+        """Exact total queueing delay."""
+        return self._queue_total
+
+    @property
+    def queued_starts(self) -> int:
+        """Exact count of startups that waited for a worker slot."""
+        return self._n_queued
+
+    def queueing_summary(self) -> Dict[str, float]:
+        """Queueing/utilization block; ``p95_queueing_s`` is a sketch
+        estimate, everything else exact."""
+        utilization = list(self.worker_utilization().values())
+        return {
+            "total_queueing_s": self._queue_total,
+            "mean_queueing_s": self._queue_sketch.mean,
+            "p95_queueing_s": self._queue_sketch.percentile(95),
+            "queued_starts": float(self._n_queued),
+            "max_queue_depth": float(self.max_queue_depth),
+            "mean_worker_utilization": (
+                float(np.mean(utilization)) if utilization else 0.0
+            ),
+            "max_worker_utilization": (
+                float(np.max(utilization)) if utilization else 0.0
+            ),
+        }
+
+    def summary(self) -> Dict[str, float]:
+        """Same key set as :meth:`Telemetry.summary`; the two startup
+        percentiles are sketch estimates, every other cell exact."""
+        base = {
+            "invocations": float(self._n),
+            "total_startup_s": self._lat_total,
+            "mean_startup_s": self.mean_startup_latency_s,
+            "p50_startup_s": self._lat_sketch.percentile(50),
+            "p95_startup_s": self._lat_sketch.percentile(95),
+            "cold_starts": float(self._n_cold),
+            "warm_starts": float(self._n - self._n_cold),
+            "evictions": float(self.evictions),
+            "keep_alive_rejections": float(self.keep_alive_rejections),
+            "ttl_expirations": float(self.ttl_expirations),
+            "peak_warm_memory_mb": self.peak_warm_memory_mb,
+            "peak_live_memory_mb": self.peak_live_memory_mb,
+            "container_crashes": float(self.container_crashes),
+            "stragglers": float(self.stragglers),
+        }
+        if self.queueing_enabled:
+            base.update(self.queueing_summary())
+        return base
+
+    # -- row views: structurally unavailable ---------------------------------
+    def _unavailable(self, what: str) -> RuntimeError:
+        """Build the error raised by row-level accessors."""
+        return RuntimeError(
+            f"{what} is unavailable under BoundedTelemetry: per-invocation "
+            "rows are not retained in bounded (streaming) mode"
+        )
+
+    @property
+    def records(self) -> List[InvocationRecord]:
+        """Unavailable in bounded mode (raises ``RuntimeError``)."""
+        raise self._unavailable("records")
+
+    def invocation_columns(self) -> InvocationColumns:
+        """Unavailable in bounded mode (raises ``RuntimeError``)."""
+        raise self._unavailable("invocation_columns()")
+
+    def latencies(self) -> np.ndarray:
+        """Unavailable in bounded mode (raises ``RuntimeError``)."""
+        raise self._unavailable("latencies()")
+
+    def cumulative_latency(self) -> np.ndarray:
+        """Unavailable in bounded mode (raises ``RuntimeError``)."""
+        raise self._unavailable("cumulative_latency()")
+
+    def cumulative_cold_starts(self) -> np.ndarray:
+        """Unavailable in bounded mode (raises ``RuntimeError``)."""
+        raise self._unavailable("cumulative_cold_starts()")
+
+    def per_function_mean_latency(self) -> Dict[str, float]:
+        """Unavailable in bounded mode (raises ``RuntimeError``)."""
+        raise self._unavailable("per_function_mean_latency()")
+
+    @property
+    def queue_delays(self) -> Sequence[float]:
+        """Unavailable in bounded mode (raises ``RuntimeError``)."""
+        raise self._unavailable("queue_delays")

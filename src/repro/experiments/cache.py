@@ -182,7 +182,14 @@ class ExperimentCache:
 
     # -- grid cells ---------------------------------------------------------
     def cell_key(self, task: "GridTask") -> str:
-        """Content address of one grid task."""
+        """Content address of one grid task.
+
+        The payload enumerates the result-determining fields explicitly;
+        ``GridTask.stream`` is deliberately absent -- streaming and batch
+        feeds are summary-identical by design (the
+        ``streaming_vs_materialized`` oracle enforces it), so both route
+        to the same cache entry.
+        """
         payload = {
             "kind": "grid_cell",
             "versions": version_stamp(),

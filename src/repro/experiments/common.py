@@ -54,6 +54,11 @@ class ExperimentScale:
     model_dim: int
     fig11_pool_fractions: Tuple[float, ...]
     restarts: int
+    #: Streaming-replay scenario size (ext_stream_replay): functions in the
+    #: synthetic Azure trace and total invocations streamed through the
+    #: simulator.  ``full`` is the production-scale 10M-invocation replay.
+    stream_functions: int = 300
+    stream_invocations: int = 30_000
 
     @staticmethod
     def from_env() -> "ExperimentScale":
@@ -64,12 +69,14 @@ class ExperimentScale:
                 n_slots=16, model_dim=64,
                 fig11_pool_fractions=(0.25, 0.50, 0.75, 1.00),
                 restarts=3,
+                stream_functions=20_000, stream_invocations=10_000_000,
             )
         return ExperimentScale(
             repeats=3, train_episodes=12, demo_episodes=2,
             n_slots=12, model_dim=32,
             fig11_pool_fractions=(0.25, 1.00),
             restarts=2,
+            stream_functions=300, stream_invocations=30_000,
         )
 
     def mlcr_config(self, seed: int = 0) -> MLCRConfig:
@@ -150,8 +157,17 @@ def evaluate_scheduler(
     workload: Workload,
     capacity_mb: float,
     pool_label: str = "",
+    stream: bool = False,
 ) -> MethodResult:
-    """Run one scheduler over one workload at one capacity."""
+    """Run one scheduler over one workload at one capacity.
+
+    With ``stream`` the workload is fed through
+    :meth:`~repro.cluster.simulator.ClusterSimulator.run_stream` (wrapped
+    as a lazy arrival stream) instead of batch ``run``.  The two paths are
+    decision-identical -- the ``streaming_vs_materialized`` oracle holds
+    them to that -- so ``stream`` changes the memory profile, never the
+    result.
+    """
     scheduler.reset()
     if hasattr(scheduler, "observe_workload"):
         scheduler.observe_workload(workload)
@@ -163,7 +179,12 @@ def evaluate_scheduler(
     sim = ClusterSimulator(
         SimulationConfig(pool_capacity_mb=capacity_mb), eviction
     )
-    result = sim.run(workload, scheduler)
+    if stream:
+        from repro.workloads.stream import stream_from_workload
+
+        result = sim.run_stream(stream_from_workload(workload), scheduler)
+    else:
+        result = sim.run(workload, scheduler)
     t = result.telemetry
     return MethodResult(
         method=scheduler.name,

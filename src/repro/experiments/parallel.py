@@ -79,13 +79,21 @@ def build_scheduler(key: str):
 
 @dataclass(frozen=True)
 class GridTask:
-    """One cell of the experiment grid (picklable, name-and-seed only)."""
+    """One cell of the experiment grid (picklable, name-and-seed only).
+
+    ``stream`` feeds the cell through ``ClusterSimulator.run_stream``
+    instead of batch ``run``.  Both paths produce identical summaries by
+    design (enforced by the ``streaming_vs_materialized`` oracle), so the
+    flag is excluded from the experiment cache's content address -- a cell
+    computed either way serves the other.
+    """
 
     scheduler: str      # key into SCHEDULER_FACTORIES
     workload: str       # key into WORKLOAD_BUILDERS
     seed: int
     pool_label: str     # "Tight" / "Moderate" / "Loose" (cosmetic)
     capacity_mb: float
+    stream: bool = False
 
 
 @dataclass(frozen=True)
@@ -144,7 +152,8 @@ def run_task(task: GridTask) -> GridCell:
     scheduler = build_scheduler(task.scheduler)
     workload = cached_workload(task.workload, task.seed)
     result = evaluate_scheduler(
-        scheduler, workload, task.capacity_mb, task.pool_label
+        scheduler, workload, task.capacity_mb, task.pool_label,
+        stream=task.stream,
     )
     return GridCell(
         task=task,

@@ -4,6 +4,7 @@ Used to regenerate the data section of EXPERIMENTS.md::
 
     python -m repro.experiments.runall [output.md] [--figures DIR]
         [--jobs N] [--no-cache] [--profile]
+        [--stream-functions N] [--stream-invocations N]
 
 Honors ``REPRO_SCALE``.  The MLCR training cache is shared across
 experiments, so fig8/fig9/fig10 train each pool size once.  With
@@ -21,18 +22,24 @@ the report).  ``--no-cache`` (or
 cache too, because rendering needs the in-memory result objects a cached
 body no longer carries.  ``--profile`` runs everything under cProfile and
 prints the top-25 cumulative-time entries.
+
+``--stream-functions`` / ``--stream-invocations`` override the streaming
+replay section's trace size (defaults come from ``REPRO_SCALE``: 300 x 30k
+fast, 20k x 10M full).  The overrides flow through the scale fields the
+section cache is keyed on, so a resized section never serves a stale body.
 """
 
 from __future__ import annotations
 
 import sys
 import time
-from dataclasses import asdict
+from dataclasses import asdict, replace
 from pathlib import Path
 from typing import Callable, List, Optional, Tuple
 
 from repro.experiments import (
     ablations,
+    ext_stream_replay,
     fig1_breakdown,
     fig2_motivation,
     fig3_dockerhub,
@@ -95,6 +102,9 @@ def _experiments(
         ("grid", "Baseline grid (parallel runner)",
          lambda: parallel.run_default_grid(scale, jobs=jobs,
                                            cache=cache).report()),
+        ("stream", "Extension - streaming Azure-like replay",
+         lambda: ext_stream_replay.report(
+             ext_stream_replay.run(scale, jobs=jobs))),
     ]
 
 
@@ -166,12 +176,13 @@ def run_all(
 
 def _parse_args(
     argv: List[str],
-) -> Tuple[Path | None, Path | None, int, bool, bool]:
+) -> Tuple[Path | None, Path | None, int, bool, bool, dict]:
     output: Path | None = None
     figures: Path | None = None
     jobs = 1
     no_cache = False
     profile = False
+    scale_overrides: dict = {}
     rest = list(argv)
     while rest:
         arg = rest.pop(0)
@@ -183,21 +194,33 @@ def _parse_args(
             if not rest:
                 raise SystemExit("--jobs needs a worker count")
             jobs = int(rest.pop(0))
+        elif arg == "--stream-functions":
+            if not rest:
+                raise SystemExit("--stream-functions needs a count")
+            scale_overrides["stream_functions"] = int(rest.pop(0))
+        elif arg == "--stream-invocations":
+            if not rest:
+                raise SystemExit("--stream-invocations needs a count")
+            scale_overrides["stream_invocations"] = int(rest.pop(0))
         elif arg == "--no-cache":
             no_cache = True
         elif arg == "--profile":
             profile = True
         else:
             output = Path(arg)
-    return output, figures, jobs, no_cache, profile
+    return output, figures, jobs, no_cache, profile, scale_overrides
 
 
 if __name__ == "__main__":  # pragma: no cover - CLI convenience
-    out, figs, n_jobs, no_cache, profile = _parse_args(sys.argv[1:])
+    out, figs, n_jobs, no_cache, profile, overrides = _parse_args(sys.argv[1:])
     run_cache = ExperimentCache(enabled=False if no_cache else None)
+    run_scale = ExperimentScale.from_env()
+    if overrides:
+        run_scale = replace(run_scale, **overrides)
 
     def _main() -> str:
-        return run_all(out, figures_dir=figs, jobs=n_jobs, cache=run_cache)
+        return run_all(out, scale=run_scale, figures_dir=figs, jobs=n_jobs,
+                       cache=run_cache)
 
     if profile:
         from repro.profiling import profile_call

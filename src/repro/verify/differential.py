@@ -27,6 +27,12 @@ cached_vs_fresh            ``run_grid`` without a cache == with a cold
                            cache == with a warm cache (identical cell
                            summaries and report bytes; warm run is all
                            hits)
+streaming_vs_materialized  ``ClusterSimulator.run_stream`` over a lazy
+                           arrival stream == ``run`` over the
+                           materialized workload (identical summaries
+                           and per-invocation columns, for both a
+                           wrapped FStartBench list and a chunk-
+                           synthesized Azure stream)
 =========================  ==============================================
 
 Runnable as the ``tests/test_verify_differential.py`` pytest suite and as
@@ -410,6 +416,67 @@ def oracle_cached_vs_fresh() -> OracleResult:
     )
 
 
+def oracle_streaming_vs_materialized() -> OracleResult:
+    """``run_stream`` and ``run`` agree record-for-record.
+
+    Covers both stream sources: an FStartBench workload wrapped by
+    :func:`~repro.workloads.stream.stream_from_workload` (pure feed-path
+    check) and a chunk-synthesized
+    :meth:`~repro.workloads.azure.AzureTraceGenerator.stream` against its
+    own materialized ``generate()`` (feed path plus arrival synthesis),
+    each under two schedulers.
+    """
+    from repro.schedulers.lru import LRUScheduler
+    from repro.workloads.azure import AzureTraceConfig, AzureTraceGenerator
+    from repro.workloads.stream import stream_from_workload
+
+    name = "streaming_vs_materialized"
+    azure = AzureTraceGenerator(AzureTraceConfig(
+        n_functions=20, n_invocations=400, duration_s=240.0,
+    ))
+    pairs = [
+        ("LO-Sim", build_workload("LO-Sim", seed=0),
+         lambda wl=None: stream_from_workload(wl)),
+        ("Azure", azure.generate(seed=0), lambda wl=None: azure.stream(seed=0)),
+    ]
+    schedulers = [GreedyMatchScheduler, LRUScheduler]
+    checked = 0
+    for label, workload, make_stream in pairs:
+        for scheduler_cls in schedulers:
+            batch_sim = ClusterSimulator(
+                SimulationConfig(pool_capacity_mb=2000.0)
+            )
+            batch = batch_sim.run(workload, scheduler_cls())
+            stream_sim = ClusterSimulator(
+                SimulationConfig(pool_capacity_mb=2000.0)
+            )
+            streamed = stream_sim.run_stream(
+                make_stream(workload), scheduler_cls()
+            )
+            mismatch = _summaries_equal(batch.summary(), streamed.summary())
+            if mismatch:
+                return OracleResult(
+                    name, False,
+                    f"{label}/{scheduler_cls.__name__}: {mismatch}",
+                )
+            want = batch_sim.telemetry.invocation_columns()
+            got = stream_sim.telemetry.invocation_columns()
+            for fld in want._fields:
+                a, b = list(getattr(want, fld)), list(getattr(got, fld))
+                if a != b:
+                    return OracleResult(
+                        name, False,
+                        f"{label}/{scheduler_cls.__name__}: "
+                        f"column {fld!r} diverges",
+                    )
+            checked += len(want.invocation_id)
+    return OracleResult(
+        name, True,
+        f"{checked} records identical across "
+        f"{len(pairs)}x{len(schedulers)} runs",
+    )
+
+
 #: Registry of every differential oracle, in documentation order.
 ORACLES: Dict[str, Callable[[], OracleResult]] = {
     "batch_vs_incremental": oracle_batch_vs_incremental,
@@ -419,6 +486,7 @@ ORACLES: Dict[str, Callable[[], OracleResult]] = {
     "v1_float64_vs_float32": oracle_v1_float64_vs_float32,
     "sequential_vs_batched": oracle_sequential_vs_batched,
     "cached_vs_fresh": oracle_cached_vs_fresh,
+    "streaming_vs_materialized": oracle_streaming_vs_materialized,
 }
 
 

@@ -31,7 +31,19 @@ from repro.workloads.fstartbench import (
     random_workload,
     uniform_workload,
 )
-from repro.workloads.azure import AzureTraceConfig, AzureTraceGenerator
+from repro.workloads.azure import (
+    AzureTraceConfig,
+    AzureTraceGenerator,
+    AzureTraceStream,
+)
+from repro.workloads.stream import (
+    InvocationStream,
+    StreamStatistics,
+    WorkloadStream,
+    merge_function_arrivals,
+    statistics_from_counts,
+    stream_from_workload,
+)
 from repro.workloads.composer import (
     ConstantEnvelope,
     DiurnalEnvelope,
@@ -64,6 +76,13 @@ __all__ = [
     "overall_workload",
     "AzureTraceConfig",
     "AzureTraceGenerator",
+    "AzureTraceStream",
+    "InvocationStream",
+    "StreamStatistics",
+    "WorkloadStream",
+    "merge_function_arrivals",
+    "statistics_from_counts",
+    "stream_from_workload",
     "WorkloadComposer",
     "ConstantEnvelope",
     "DiurnalEnvelope",

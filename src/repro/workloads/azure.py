@@ -13,12 +13,31 @@ Function images are sampled from the default package catalog with popularity
 weights from the synthetic Docker Hub registry, so the generated functions
 exhibit the same "popular OS/language, diverse runtime" structure that makes
 multi-level reuse worthwhile.
+
+Synthesis is *streaming-first*: :meth:`AzureTraceGenerator.stream` builds an
+:class:`AzureTraceStream` -- a lazy, restartable
+:class:`~repro.workloads.stream.InvocationStream` that heap-merges
+per-function arrival generators, each synthesizing its arrivals in bounded
+numpy chunks (binomial splitting over time slices, so a chunk is an exact
+sample of the per-function arrival law restricted to its slice).
+:meth:`AzureTraceGenerator.generate` is simply ``stream(seed)``
+materialized, so list and stream replay agree element-for-element; at
+production scale (tens of thousands of functions x millions of
+invocations) only the stream is affordable -- its memory is O(#functions),
+never O(#invocations).
+
+Burstiness is modeled with a Dirichlet(alpha) weighting over equal time
+slices, drawn by stick-breaking (sequential beta-binomial splitting):
+``burstiness=0`` degenerates to exact uniform weights (a homogeneous
+process), while values near 1 drive ``alpha`` toward 0 and concentrate a
+function's invocations into a few slices -- short, hard-to-predict bursts.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, Iterable, Iterator, List, Tuple, Union
 
 import numpy as np
 
@@ -27,7 +46,27 @@ from repro.packages.catalog import PackageCatalog, default_catalog
 from repro.packages.package import Package, PackageLevel
 from repro.workloads.functions import FunctionSpec
 from repro.workloads.metrics import workload_similarity, workload_size_variance
+from repro.workloads.stream import (
+    InvocationStream,
+    StreamStatistics,
+    merge_function_arrivals,
+    statistics_from_counts,
+)
 from repro.workloads.workload import Invocation, Workload
+
+#: Upper bound on the arrival-chunk size of any single function; the
+#: per-function chunk is scaled down proportionally to its share of the
+#: trace (floored at :data:`MIN_ARRIVAL_CHUNK`), so the *sum* of live chunk
+#: buffers across all merged functions stays O(#functions + chunk).
+ARRIVAL_CHUNK = 4096
+
+#: Floor of the per-function arrival chunk: small-count functions buffer at
+#: most this many arrivals, making total merge memory linear in #functions.
+MIN_ARRIVAL_CHUNK = 32
+
+#: Equal time slices used for the Dirichlet burstiness weighting, capped so
+#: the per-function slice loop stays cheap for huge counts.
+MAX_BURST_SLICES = 256
 
 
 @dataclass(frozen=True)
@@ -66,6 +105,54 @@ class AzureTraceConfig:
             raise ValueError("single_invocation_fraction must be in [0, 1)")
         if not 0 <= self.burstiness <= 1:
             raise ValueError("burstiness must be in [0, 1]")
+
+
+class AzureTraceStream(InvocationStream):
+    """Lazy Azure-like trace: specs and counts up front, arrivals on demand.
+
+    Construction samples the function population and per-function
+    invocation counts (O(#functions) work and memory); every ``__iter__``
+    then heap-merges freshly seeded per-function arrival generators, so
+    repeated passes yield identical invocations.  ``metadata`` carries the
+    cited trace statistics, computed directly from the counts.
+    """
+
+    name = "Azure-like"
+
+    def __init__(self, generator: "AzureTraceGenerator", seed: int) -> None:
+        super().__init__()
+        self.seed = seed
+        self.config = generator.config
+        root = np.random.default_rng(seed)
+        self.specs: List[FunctionSpec] = generator._sample_functions(root)
+        self.counts: np.ndarray = generator._invocation_counts(root)
+        self.n_invocations = int(self.counts.sum())
+        self.metadata = dict(statistics_from_counts(self.counts.tolist()))
+        self._generator = generator
+
+    def __len__(self) -> int:
+        return self.n_invocations
+
+    def __iter__(self) -> Iterator[Invocation]:
+        gen = self._generator
+        total = max(1, self.n_invocations)
+        sources = [
+            gen._function_arrivals(
+                spec, int(count),
+                rng=np.random.default_rng((self.seed, index)),
+                chunk=_proportional_chunk(int(count), total),
+            )
+            for index, (spec, count) in enumerate(zip(self.specs, self.counts))
+        ]
+        return merge_function_arrivals(self.specs, sources)
+
+
+def _proportional_chunk(count: int, total: int) -> int:
+    """Per-function chunk size: a share of :data:`ARRIVAL_CHUNK`
+    proportional to the function's share of the trace, floored at
+    :data:`MIN_ARRIVAL_CHUNK`."""
+    share = math.ceil(ARRIVAL_CHUNK * count / total)
+    return max(MIN_ARRIVAL_CHUNK, min(ARRIVAL_CHUNK, share))
 
 
 class AzureTraceGenerator:
@@ -125,7 +212,7 @@ class AzureTraceGenerator:
 
     # -- invocation-count distribution -----------------------------------------
     def _invocation_counts(self, rng: np.random.Generator) -> np.ndarray:
-        """Zipf-skewed counts with the cited head/tail shape."""
+        """Zipf-skewed counts with the cited head/tail shape (O(#functions))."""
         cfg = self.config
         n_single = int(round(cfg.single_invocation_fraction * cfg.n_functions))
         n_rest = cfg.n_functions - n_single
@@ -145,54 +232,128 @@ class AzureTraceGenerator:
         return all_counts
 
     # -- arrivals -----------------------------------------------------------
-    def _arrivals_for(
-        self, count: int, rng: np.random.Generator
-    ) -> np.ndarray:
-        cfg = self.config
-        if count == 1 or cfg.burstiness == 0:
-            return np.sort(rng.uniform(0.0, cfg.duration_s, size=count))
-        # Bursty: cluster invocations around a few burst centers.
-        n_bursts = max(1, int(np.ceil(count * (1 - cfg.burstiness) / 4)) )
-        centers = rng.uniform(0.0, cfg.duration_s, size=n_bursts)
-        which = rng.integers(0, n_bursts, size=count)
-        spread = cfg.duration_s * 0.01 * (1.0 - cfg.burstiness + 0.05)
-        times = centers[which] + rng.normal(0.0, spread, size=count)
-        return np.sort(np.clip(times, 0.0, cfg.duration_s - 1e-6))
+    def _burst_alpha(self) -> float:
+        """Dirichlet concentration for the configured burstiness.
 
-    # -- main entry point --------------------------------------------------------
-    def generate(self, seed: int = 0) -> Workload:
-        """Generate one synthetic trace as a :class:`Workload`."""
-        rng = np.random.default_rng(seed)
-        specs = self._sample_functions(rng)
-        counts = self._invocation_counts(rng)
-        invocations: List[Invocation] = []
-        inv_id = 0
-        for spec, count in zip(specs, counts):
-            for t in self._arrivals_for(int(count), rng):
-                invocations.append(
-                    Invocation(
-                        invocation_id=inv_id,
-                        spec=spec,
-                        arrival_time=float(t),
-                        execution_time_s=spec.sample_exec_time(rng),
-                    )
+        ``burstiness -> 0`` sends alpha to infinity (handled as exact
+        uniform weights); ``burstiness -> 1`` sends alpha to ~0, piling a
+        function's arrivals into very few slices.
+        """
+        b = self.config.burstiness
+        return max(1e-3, 0.5 * (1.0 - b) / b) if b > 0 else float("inf")
+
+    def _arrival_chunks(
+        self, count: int, rng: np.random.Generator,
+        chunk: int = ARRIVAL_CHUNK,
+    ) -> Iterator[np.ndarray]:
+        """Yield ``count`` sorted arrival times in bounded numpy chunks.
+
+        The trace window is cut into equal slices; per-slice counts are
+        drawn by stick-breaking (uniform: conditional binomial; bursty:
+        beta-binomial, the Dirichlet-multinomial marginal), then each
+        slice's arrivals are sorted uniforms within the slice -- split
+        recursively when a slice exceeds ``chunk``.  Concatenating the
+        chunks reproduces the exact joint law of sorting ``count`` draws
+        from the (burst-weighted) arrival density, at O(chunk) memory.
+        """
+        cfg = self.config
+        if count <= 0:
+            return
+        n_slices = min(MAX_BURST_SLICES, count)
+        if cfg.burstiness == 0 or count == 1 or n_slices == 1:
+            yield from _sorted_uniform_chunks(
+                rng, count, 0.0, cfg.duration_s, chunk
+            )
+            return
+        alpha = self._burst_alpha()
+        width = cfg.duration_s / n_slices
+        remaining = count
+        for s in range(n_slices):
+            if s == n_slices - 1:
+                take = remaining
+            else:
+                frac = rng.beta(alpha, alpha * (n_slices - 1 - s))
+                take = int(rng.binomial(remaining, frac))
+            if take:
+                yield from _sorted_uniform_chunks(
+                    rng, take, s * width, (s + 1) * width, chunk
                 )
-                inv_id += 1
-        wl = Workload.from_invocations("Azure-like", invocations)
+            remaining -= take
+            if not remaining:
+                return
+
+    def _function_arrivals(
+        self, spec: FunctionSpec, count: int, rng: np.random.Generator,
+        chunk: int = ARRIVAL_CHUNK,
+    ) -> Iterator[Tuple[float, float]]:
+        """One function's ``(arrival, exec_time)`` pairs, chunk by chunk."""
+        for times in self._arrival_chunks(count, rng, chunk):
+            execs = spec.sample_exec_times(times.size, rng)
+            yield from zip(times.tolist(), execs.tolist())
+
+    # -- main entry points --------------------------------------------------
+    def stream(self, seed: int = 0) -> AzureTraceStream:
+        """Build the lazy trace stream (O(#functions) memory)."""
+        return AzureTraceStream(self, seed)
+
+    def generate(self, seed: int = 0) -> Workload:
+        """Generate one synthetic trace as a materialized :class:`Workload`.
+
+        Defined as ``stream(seed)`` exhausted into a workload -- list and
+        stream replay see identical invocations -- plus the workload-level
+        similarity metrics (O(#functions^2); only computed here, never on
+        the streaming path).
+        """
+        stream = self.stream(seed)
+        wl = stream.materialize()
         meta: Dict[str, float] = {
             "similarity": workload_similarity(wl),
             "size_variance": workload_size_variance(wl),
-            **self.trace_statistics(wl),
+            **stream.metadata,
         }
         return Workload(name=wl.name, invocations=wl.invocations, metadata=meta)
 
     # -- verification helpers ------------------------------------------------
     @staticmethod
-    def trace_statistics(workload: Workload) -> Dict[str, float]:
-        """The cited Azure statistics, measured on a generated trace."""
-        counts = np.array(list(workload.invocation_counts().values()))
-        return {
-            "frac_invoked_once": float(np.mean(counts == 1)),
-            "frac_invoked_le2": float(np.mean(counts <= 2)),
-            "max_invocations": float(counts.max()) if counts.size else 0.0,
-        }
+    def trace_statistics(
+        trace: Union[Workload, Iterable[Invocation]],
+    ) -> Dict[str, float]:
+        """The cited Azure statistics, measured in a single pass.
+
+        Accepts a materialized :class:`Workload` *or* any invocation
+        iterable (including an :class:`AzureTraceStream`); state is one
+        counter per function, so streams of any length fit in memory.
+        """
+        return StreamStatistics().consume(trace).statistics()
+
+
+def _sorted_uniform_chunks(
+    rng: np.random.Generator, count: int, lo: float, hi: float, chunk: int,
+) -> Iterator[np.ndarray]:
+    """Sorted uniform draws on ``[lo, hi)`` in chunks of at most ``chunk``.
+
+    Uses exact binomial splitting: the interval is cut into equal pieces
+    and each piece's count is drawn conditionally (multinomial via
+    sequential binomials), recursing while a piece still exceeds the chunk
+    bound.  The concatenation is distributed exactly as sorting ``count``
+    uniforms on ``[lo, hi)``.
+    """
+    if count <= 0:
+        return
+    if count <= chunk:
+        yield np.sort(rng.uniform(lo, hi, size=count))
+        return
+    pieces = math.ceil(count / chunk)
+    width = (hi - lo) / pieces
+    remaining = count
+    for p in range(pieces):
+        if p == pieces - 1:
+            take = remaining
+        else:
+            take = int(rng.binomial(remaining, 1.0 / (pieces - p)))
+        yield from _sorted_uniform_chunks(
+            rng, take, lo + p * width, lo + (p + 1) * width, chunk
+        )
+        remaining -= take
+        if not remaining:
+            return

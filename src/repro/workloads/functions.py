@@ -83,6 +83,15 @@ class FunctionSpec:
         mu = np.log(self.exec_time_mean_s) - sigma2 / 2
         return float(rng.lognormal(mean=mu, sigma=np.sqrt(sigma2)))
 
+    def sample_exec_times(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw ``n`` execution times at once (vectorized counterpart of
+        :meth:`sample_exec_time`; same distribution, one RNG call)."""
+        if self.exec_time_cv == 0:
+            return np.full(n, self.exec_time_mean_s, dtype=np.float64)
+        sigma2 = np.log1p(self.exec_time_cv**2)
+        mu = np.log(self.exec_time_mean_s) - sigma2 / 2
+        return rng.lognormal(mean=mu, sigma=np.sqrt(sigma2), size=n)
+
 
 def _build_specs(catalog: PackageCatalog) -> List[FunctionSpec]:
     from repro.packages.catalog import language_group, os_group

@@ -27,6 +27,13 @@ fourth verification stage.
 extra insurance against a capture run where even the best round was
 degraded (faster-than-baseline never fails, so erring slow is safe).
 
+Alongside each timing, the per-file *peak RSS* stamped by the conftest
+fixture (``extra_info["peak_rss_mb"]``) is captured as a
+``{test_name}[rss_mb]`` entry, so ``--compare`` also gates memory
+regressions under the same cold-process conditions the baseline was
+captured in.  (The in-run guard deliberately skips RSS: ``ru_maxrss`` is
+process-wide and monotone, so warm multi-file runs would false-fail.)
+
 Re-run after intentional performance changes and commit the updated
 baseline alongside them.
 """
@@ -96,6 +103,10 @@ DEFAULT_OUTPUT = REPO_ROOT / "benchmarks" / "bench_baseline.json"
 #: here because conftest modules are not importable outside pytest).
 REGRESSION_FACTOR = 1.30
 
+#: Suffix marking a baseline entry as a peak-RSS (MB) capture rather than
+#: a min round time (seconds).
+RSS_SUFFIX = "[rss_mb]"
+
 
 def capture(bench_paths: Sequence[str]) -> Dict[str, float]:
     """Run the benchmarks and return ``{test_name: min_seconds}``.
@@ -132,6 +143,9 @@ def capture(bench_paths: Sequence[str]) -> Dict[str, float]:
                     continue
                 # "name" is the bare test name, e.g. "test_match_level_rate".
                 mins[bench["name"]] = bench["stats"]["min"]
+                rss = (bench.get("extra_info") or {}).get("peak_rss_mb")
+                if rss:
+                    mins[f"{bench['name']}{RSS_SUFFIX}"] = rss
     return dict(sorted(mins.items()))
 
 
@@ -145,20 +159,28 @@ def compare(mins: Dict[str, float], baseline: Dict[str, float],
     """
     regressions: List[str] = []
     for name, observed in mins.items():
+        fmt = _fmt_rss if name.endswith(RSS_SUFFIX) else _fmt_ms
         base = baseline.get(name)
         if base is None:
-            print(f"  new (no baseline): {name} {observed * 1e3:.3f} ms")
+            print(f"  new (no baseline): {name} {fmt(observed)}")
             continue
         allowed = base * factor
         if observed > allowed:
             regressions.append(
-                f"{name}: min {observed * 1e3:.3f} ms > {factor:.2f}x baseline "
-                f"({base * 1e3:.3f} ms -> allowed {allowed * 1e3:.3f} ms)"
+                f"{name}: {fmt(observed)} > {factor:.2f}x baseline "
+                f"({fmt(base)} -> allowed {fmt(allowed)})"
             )
         else:
-            print(f"  ok: {name} {observed * 1e3:.3f} ms "
-                  f"(baseline {base * 1e3:.3f} ms)")
+            print(f"  ok: {name} {fmt(observed)} (baseline {fmt(base)})")
     return regressions
+
+
+def _fmt_ms(seconds: float) -> str:
+    return f"{seconds * 1e3:.3f} ms"
+
+
+def _fmt_rss(mb: float) -> str:
+    return f"{mb:.1f} MB"
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -193,7 +215,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     output = Path(args.output)
     output.write_text(json.dumps(mins, indent=2, sort_keys=True) + "\n")
     for name, observed in mins.items():
-        print(f"{name}: {observed * 1e3:.3f} ms")
+        fmt = _fmt_rss if name.endswith(RSS_SUFFIX) else _fmt_ms
+        print(f"{name}: {fmt(observed)}")
     print(f"wrote {len(mins)} baselines to {output}")
     return 0
 

@@ -1,85 +1,148 @@
 #!/usr/bin/env python
-"""Online fine-tuning: adapting a trained MLCR policy to workload drift.
+"""Online adaptation on the live serving plane.
 
-Trains an MLCR policy offline on the Overall workload family, then deploys
-it on a *different* family (HI-Sim) two ways: frozen, and with online
-fine-tuning enabled (Section VI-C/D: "the DRL model also supports online
-fine-tuning to adjust model parameters").
+Spawns the ``repro serve`` HTTP plane in-process and drives it end-to-end
+over real sockets: a cold burst, a warm burst (asserting the warm-hit rate
+from ``/stats``), a workload *drift* answered by hot-swapping the
+scheduling policy over ``POST /scheduler``, a quiet period in which the
+keep-alive janitor scales the pool to zero, and a graceful drain whose
+decision recording is replayed deterministically through the simulator
+(the ``serve_replay`` contract: served ≡ replayed).
+
+The engine runs on a scripted :class:`VirtualClock` wall source, so the
+whole session is instant and byte-reproducible -- the same code serves
+real traffic when handed the default :class:`WallClock`.
+
+Every phase asserts its outcome: this example is an executable smoke
+test, not a loose script.
 
 Usage::
 
-    python examples/online_adaptation.py [--episodes N] [--target HI-Sim]
+    python examples/online_adaptation.py [--burst N]
 """
 
 import argparse
-import copy
+import asyncio
 
-from repro import SimulationConfig
 from repro.analysis.report import ascii_table
-from repro.core.finetune import OnlineFineTuner
-from repro.core.mlcr import train_mlcr_scheduler
-from repro.experiments.common import (
-    ExperimentScale,
-    evaluate_scheduler,
-    make_training_factory,
-    pool_sizes,
+from repro.cluster.eventloop import VirtualClock
+from repro.cluster.simulator import SimulationConfig
+from repro.serve import (
+    DecisionRecorder,
+    ServeEngine,
+    ServePlane,
+    http_json,
+    replay_recording,
 )
-from repro.workloads.fstartbench import WORKLOAD_BUILDERS, overall_workload
+
+WARM_MIX = ("hello-python", "hello-node")          # steady-state traffic
+DRIFT_MIX = ("hello-java", "hello-go")             # the drifted workload
+
+
+async def _burst(host, port, clock, t, functions, n):
+    """Fire ``n`` sequential requests at virtual time ``t``; return them."""
+    clock.advance_to(t)
+    results = []
+    for i in range(n):
+        status, payload = await http_json(
+            host, port, "POST", "/invoke",
+            {"function": functions[i % len(functions)], "exec_s": 0.3},
+        )
+        assert status == 200, payload
+        results.append(payload)
+    return results
+
+
+async def run_session(burst: int) -> None:
+    clock = VirtualClock()
+    recorder = DecisionRecorder()
+    engine = ServeEngine(
+        SimulationConfig(
+            pool_capacity_mb=16_384.0,
+            n_workers=2,
+            worker_concurrency=8,
+            bounded_telemetry=True,
+            verify=True,
+        ),
+        scheduler="keepalive",
+        wall=clock,
+        keepalive_ttl_s=60.0,
+        recorder=recorder,
+    )
+    plane = ServePlane(engine)
+    await plane.start()
+    host, port = plane.host, plane.port
+    print(f"serving on http://{host}:{port} (virtual wall clock)\n")
+    rows = []
+
+    # Phase 1 -- cold burst: an empty pool, every request cold-starts.
+    cold = await _burst(host, port, clock, 1.0, WARM_MIX, burst)
+    assert all(r["cold_start"] for r in cold[:2]), "first hits must be cold"
+    rows.append(["1 cold burst", "keepalive",
+                 sum(r["cold_start"] for r in cold), burst])
+
+    # Let the in-flight work finish (virtual seconds, one janitor sweep).
+    clock.advance_to(30.0)
+    plane.janitor.tick()
+    assert engine.pooled_containers > 0, "pool should hold warm containers"
+
+    # Phase 2 -- warm burst: same mix, the warm pool absorbs it.
+    warm = await _burst(host, port, clock, 31.0, WARM_MIX, burst)
+    rows.append(["2 warm burst", "keepalive",
+                 sum(r["cold_start"] for r in warm), burst])
+    status, stats = await http_json(host, port, "GET", "/stats")
+    assert status == 200
+    assert stats["warm_hit_rate"] >= 0.4, stats["warm_hit_rate"]
+    print(f"warm-hit rate after steady bursts: {stats['warm_hit_rate']:.0%} "
+          f"(p95 startup {stats['startup_latency']['p95_s'] * 1000:.0f} ms)")
+
+    # Phase 3 -- drift: new functions arrive; adapt the policy online.
+    status, swap = await http_json(
+        host, port, "POST", "/scheduler", {"scheduler": "greedy"}
+    )
+    assert status == 200 and swap["previous"] == "keepalive"
+    print(f"workload drift detected -> hot-swapped scheduler "
+          f"{swap['previous']} -> {swap['scheduler']}")
+    drift = await _burst(host, port, clock, 40.0, DRIFT_MIX, burst)
+    rows.append(["3 drift burst", "greedy",
+                 sum(r["cold_start"] for r in drift), burst])
+
+    # Phase 4 -- quiet period: the janitor scales the pool to zero.
+    clock.advance_to(40.0 + 200.0)  # far past the 60 s keep-alive TTL
+    plane.janitor.tick()
+    status, stats = await http_json(host, port, "GET", "/stats")
+    assert stats["live_containers"] == 0, "TTL should reclaim everything"
+    assert stats["scale_to_zero_events"] >= 1
+    rows.append(["4 quiet period", "greedy", "-", 0])
+    print("quiet period: keep-alive TTL scaled the warm pool to zero")
+
+    # Live invariant monitors stayed clean throughout.
+    status, health = await http_json(host, port, "GET", "/healthz")
+    assert status == 200 and health["healthy"], health
+
+    result = await plane.stop()
+    summary = result.summary()
+    print()
+    print(ascii_table(
+        ["phase", "scheduler", "cold starts", "requests"],
+        [[str(c) for c in row] for row in rows],
+        title=(f"online serving session: {summary['invocations']:.0f} "
+               f"invocations, {summary['cold_starts']:.0f} cold starts"),
+    ))
+
+    # The recorded session replays byte-identically through the simulator.
+    report = replay_recording(recorder.lines(), verify=True)
+    assert report.ok, str(report.divergence)
+    print(f"\nserve_replay: {report.n_decisions} decisions + "
+          f"{report.n_swaps} swap replayed byte-identically")
 
 
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--episodes", type=int, default=10)
-    parser.add_argument("--target", default="HI-Sim",
-                        choices=sorted(WORKLOAD_BUILDERS))
-    parser.add_argument("--eval-seeds", type=int, default=2)
+    parser.add_argument("--burst", type=int, default=12,
+                        help="requests per traffic burst (default 12)")
     args = parser.parse_args()
-
-    scale = ExperimentScale.from_env()
-    source_capacity = pool_sizes(overall_workload(seed=0))["Tight"]
-    config = scale.mlcr_config()
-    from dataclasses import replace
-
-    config = replace(config, n_episodes=args.episodes)
-
-    print(f"offline training on Overall@Tight ({source_capacity:.0f} MB), "
-          f"{args.episodes} episodes...")
-    scheduler, history = train_mlcr_scheduler(
-        workload_factory=make_training_factory(
-            lambda s: overall_workload(seed=s), scale
-        ),
-        sim_config=SimulationConfig(pool_capacity_mb=source_capacity),
-        config=config,
-    )
-    print(f"best validation latency: {history.best_eval_latency:.1f}s\n")
-
-    target_builder = WORKLOAD_BUILDERS[args.target]
-    target_capacity = pool_sizes(target_builder(seed=0))["Tight"]
-    frozen = copy.deepcopy(scheduler)
-    tuned = OnlineFineTuner(scheduler, epsilon=0.05, updates_per_decision=2)
-
-    rows = []
-    for label, policy in (("frozen", frozen), ("online fine-tuned", tuned)):
-        totals, colds = [], []
-        for seed in range(args.eval_seeds):
-            res = evaluate_scheduler(
-                policy, target_builder(seed=seed), target_capacity, "Tight"
-            )
-            totals.append(res.total_startup_s)
-            colds.append(res.cold_starts)
-        rows.append([
-            label,
-            f"{sum(totals) / len(totals):.1f}",
-            f"{sum(colds) / len(colds):.1f}",
-        ])
-
-    print(ascii_table(
-        ["deployment", "total startup [s]", "cold starts"],
-        rows,
-        title=(f"drifted deployment: Overall-trained policy on "
-               f"{args.target}@Tight ({target_capacity:.0f} MB)"),
-    ))
-    print(f"\nonline updates applied: {tuned.updates}")
+    asyncio.run(run_session(args.burst))
 
 
 if __name__ == "__main__":

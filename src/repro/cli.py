@@ -15,6 +15,13 @@ Commands
     Golden-trace tooling: ``record`` a decision trace for one
     (workload, scheduler, seed, pool) cell, ``replay`` a trace file and
     fail on any divergence, or ``diff`` two trace files.
+``serve``
+    Run the online asyncio serving plane: accept invocation requests over
+    HTTP, schedule them against a live warm pool through the simulator
+    core, and (optionally) record the session for deterministic replay.
+``serve-replay``
+    Replay a recorded serving session through a fresh simulator and fail
+    on the first diverging decision.
 """
 
 from __future__ import annotations
@@ -249,6 +256,75 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """``repro serve``: run the online HTTP serving plane until Ctrl-C."""
+    import asyncio
+
+    from repro.serve.engine import ServeEngine
+    from repro.serve.recorder import DecisionRecorder
+    from repro.serve.server import ServePlane
+
+    config = SimulationConfig(
+        pool_capacity_mb=args.pool_mb,
+        n_workers=args.workers,
+        worker_concurrency=args.concurrency,
+        bounded_telemetry=True,
+        verify=not args.no_verify,
+    )
+    recorder = DecisionRecorder(args.record) if args.record else None
+    engine = ServeEngine(
+        config,
+        scheduler=args.scheduler,
+        keepalive_ttl_s=args.keepalive,
+        recorder=recorder,
+    )
+    plane = ServePlane(
+        engine,
+        host=args.host,
+        port=args.port,
+        time_scale=args.time_scale,
+        janitor_interval_s=args.janitor_interval,
+    )
+
+    async def _run() -> None:
+        await plane.start()
+        print(f"serving on http://{args.host}:{plane.port} "
+              f"(scheduler={args.scheduler}, workers={args.workers}, "
+              f"pool={args.pool_mb:.0f} MB)")
+        print("endpoints: POST /invoke  GET /stats  GET /healthz  "
+              "POST /scheduler")
+        try:
+            await asyncio.Event().wait()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            result = await plane.stop()
+            summary = result.summary()
+            print(f"\ndrained: {summary['invocations']:.0f} invocations, "
+                  f"{summary['cold_starts']:.0f} cold starts")
+            if args.record:
+                print(f"recording written to {args.record}")
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def cmd_serve_replay(args: argparse.Namespace) -> int:
+    """``repro serve-replay``: verify a recorded serving session."""
+    from repro.serve.recorder import replay_recording
+
+    report = replay_recording(args.recording, verify=args.verify)
+    if not report.ok:
+        print(report.divergence)
+        return 1
+    print(f"{args.recording}: replayed {report.n_decisions} decisions "
+          f"({report.n_swaps} scheduler swaps), byte-identical")
+    return 0
+
+
 # ---------------------------------------------------------------------------
 # Parser
 # ---------------------------------------------------------------------------
@@ -332,6 +408,41 @@ def build_parser() -> argparse.ArgumentParser:
     t.add_argument("expected")
     t.add_argument("actual")
     t.set_defaults(func=cmd_trace)
+
+    p = sub.add_parser("serve", help="run the online HTTP serving plane")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8080,
+                   help="TCP port (0 picks a free one)")
+    p.add_argument("--scheduler", default="lru",
+                   choices=sorted(_SCHEDULERS))
+    p.add_argument("--pool-mb", type=float, default=4096.0,
+                   help="warm-pool memory capacity")
+    p.add_argument("--workers", type=int, default=4,
+                   help="simulated worker nodes")
+    p.add_argument("--concurrency", type=int, default=8,
+                   help="containers concurrently starting/executing per "
+                        "worker (admission bound = workers * concurrency)")
+    p.add_argument("--keepalive", type=float, default=None,
+                   help="scale-to-zero keep-alive TTL in seconds "
+                        "(default: the eviction policy's own TTL)")
+    p.add_argument("--time-scale", type=float, default=0.0,
+                   help="wall seconds each request holds per simulated "
+                        "service second (0 = respond immediately)")
+    p.add_argument("--janitor-interval", type=float, default=0.05,
+                   help="wall seconds between keep-alive sweeps")
+    p.add_argument("--record", default=None,
+                   help="JSONL path recording every decision for "
+                        "deterministic replay")
+    p.add_argument("--no-verify", action="store_true",
+                   help="disable the live invariant monitors")
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser("serve-replay",
+                       help="verify a recorded serving session")
+    p.add_argument("recording", help="JSONL recording from repro serve")
+    p.add_argument("--verify", action="store_true",
+                   help="attach the invariant monitors while replaying")
+    p.set_defaults(func=cmd_serve_replay)
     return parser
 
 

@@ -7,7 +7,13 @@ fixed-capacity warm pool, and a pluggable eviction policy reclaims space.
 """
 
 from repro.cluster.events import Event, EventKind, EventQueue
-from repro.cluster.eventloop import EventLoop, SimulationClock
+from repro.cluster.eventloop import (
+    EventLoop,
+    SimulationClock,
+    TimeSource,
+    VirtualClock,
+    WallClock,
+)
 from repro.cluster.faults import FaultConfig, FaultModel
 from repro.cluster.pool import PoolFullError, PoolSet, WarmPool
 from repro.cluster.eviction import (
@@ -33,6 +39,9 @@ __all__ = [
     "EventQueue",
     "EventLoop",
     "SimulationClock",
+    "TimeSource",
+    "VirtualClock",
+    "WallClock",
     "WarmPool",
     "PoolSet",
     "PoolFullError",

@@ -17,7 +17,11 @@ every container-state mutation in the cluster:
 The policy driver (:class:`~repro.cluster.simulator.ClusterSimulator`)
 composes this with the :class:`~repro.cluster.eventloop.EventLoop` and the
 :class:`~repro.cluster.placement.PlacementEngine`; nothing here touches the
-clock or the event queue.
+clock or the event queue.  The lifecycle is *time-source-agnostic*: every
+time-dependent operation takes ``now`` as a plain float argument, so the
+same code serves the offline simulator (driven by a
+:class:`~repro.cluster.eventloop.VirtualClock`) and the online serving
+plane (driven by wall-clock timestamps) without change.
 """
 
 from __future__ import annotations

@@ -21,6 +21,10 @@ release time (startup + execution) is known when it is admitted, so the
 engine keeps a small heap of per-slot release times per worker and derives
 each newcomer's start time deterministically -- no extra event types, and
 with the limit disabled the engine is a strict no-op on the hot path.
+
+Like the container lifecycle, the engine is time-source-agnostic: ``now``
+is always an argument, never read from a clock, so the same admission
+arithmetic serves offline simulation and the online serving plane.
 """
 
 from __future__ import annotations

@@ -356,6 +356,60 @@ class ClusterSimulator:
             self.verifier.checkpoint()
         return container
 
+    # ------------------------------------------------------------------
+    # Online feed (used by the serving plane)
+    # ------------------------------------------------------------------
+    def offer(self, invocation: Invocation) -> None:
+        """Inject a single arrival into the event loop (online feed).
+
+        The serving plane (:mod:`repro.serve`) stamps each incoming request
+        with a wall-relative arrival time and offers it here one at a time;
+        :meth:`next_decision_point` then processes every due completion and
+        returns the request's scheduling context exactly as the offline
+        modes would.  Arrival times must be non-decreasing across calls
+        (and across any stream fed via :meth:`load_stream`), mirroring the
+        streaming feed's ordering contract.
+        """
+        if self._finished:
+            raise RuntimeError("simulator already finished; build a new one")
+        if invocation.arrival_time < self._last_arrival_t:
+            raise ValueError(
+                "arrival offered out of order: got t="
+                f"{invocation.arrival_time:.6f} after "
+                f"t={self._last_arrival_t:.6f}"
+            )
+        self._last_arrival_t = invocation.arrival_time
+        self.loop.schedule(invocation.arrival_time, EventKind.ARRIVAL,
+                           invocation)
+
+    def pump_until(self, time: float) -> int:
+        """Process every due non-arrival event, then sweep at ``time``.
+
+        The serving plane's janitor calls this on a timer: completions
+        whose scheduled time has passed are handled exactly as the offline
+        loop would handle them (each pop advances the clock and runs the
+        TTL sweep), and the trailing :meth:`~EventLoop.advance_to` runs one
+        more sweep at ``time`` so idle containers expire -- and the pool
+        scales to zero -- even when no event is due.  Returns the number of
+        events processed.  Raises if an undecided arrival is due (arrivals
+        must go through :meth:`next_decision_point`).
+        """
+        if self._pending is not None:
+            raise RuntimeError("pending decision not applied")
+        handled = 0
+        while (event := self.loop.peek()) is not None and event.time <= time:
+            if event.kind is EventKind.ARRIVAL:
+                raise RuntimeError(
+                    "pump_until reached an undecided arrival; drive it "
+                    "through next_decision_point/apply_decision"
+                )
+            self._handle_non_arrival(self.loop.pop_next())
+            handled += 1
+        self.loop.advance_to(time)
+        if self.verifier is not None:
+            self.verifier.checkpoint()
+        return handled
+
     def next_decision_point(self) -> Optional[SchedulingContext]:
         """Advance until the next arrival; return its scheduling context.
 

@@ -1,0 +1,112 @@
+"""HTTP-plane admission control: bounded in-flight requests.
+
+The simulator's :class:`~repro.cluster.placement.PlacementEngine` already
+queues startups beyond each worker's ``worker_concurrency`` *inside* the
+simulated cluster.  The :class:`AdmissionController` bounds the HTTP plane
+itself: at most ``max_inflight`` requests may hold a slot concurrently
+(naturally ``n_workers * worker_concurrency``, mirroring the cluster's
+aggregate capacity), a small FIFO overflow of ``max_queue`` waiters may
+wait for a slot, and anything beyond that is rejected immediately
+(HTTP 429) instead of piling up unboundedly in the event loop.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+from typing import AsyncIterator, Optional
+
+__all__ = ["AdmissionController", "AdmissionRejected"]
+
+
+class AdmissionRejected(RuntimeError):
+    """The request was turned away: in-flight and overflow slots are full."""
+
+
+class AdmissionController:
+    """Counting semaphore with an immediate-reject overflow bound.
+
+    Parameters
+    ----------
+    max_inflight:
+        Maximum requests concurrently holding a slot; ``None`` disables
+        admission control (every request is accepted immediately).
+    max_queue:
+        Requests allowed to *wait* for a slot when all are taken; beyond
+        this, :meth:`acquire` raises :class:`AdmissionRejected` without
+        yielding.  Default 0: full means reject.
+    """
+
+    def __init__(
+        self, max_inflight: Optional[int] = None, max_queue: int = 0
+    ) -> None:
+        if max_inflight is not None and max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1")
+        if max_queue < 0:
+            raise ValueError("max_queue must be >= 0")
+        self.max_inflight = max_inflight
+        self.max_queue = max_queue
+        self.inflight = 0
+        self.peak_inflight = 0
+        self.accepted = 0
+        self.rejected = 0
+        self._waiting = 0
+        self._sem = (
+            asyncio.Semaphore(max_inflight)
+            if max_inflight is not None
+            else None
+        )
+        self._idle = asyncio.Event()
+        self._idle.set()
+
+    async def acquire(self) -> None:
+        """Take a slot, waiting in the bounded overflow queue if needed.
+
+        Raises :class:`AdmissionRejected` *synchronously* (before any
+        await) when both the slots and the overflow queue are full, so
+        rejected requests cost one exception, not a queue entry.
+        """
+        if self._sem is None:
+            self._admit()
+            return
+        if self.inflight >= self.max_inflight and self._waiting >= self.max_queue:
+            self.rejected += 1
+            raise AdmissionRejected(
+                f"{self.inflight} in flight and {self._waiting} waiting; "
+                "try again later"
+            )
+        self._waiting += 1
+        try:
+            await self._sem.acquire()
+        finally:
+            self._waiting -= 1
+        self._admit()
+
+    def release(self) -> None:
+        """Return a slot; wakes one waiter (FIFO) if any."""
+        self.inflight -= 1
+        if self.inflight == 0:
+            self._idle.set()
+        if self._sem is not None:
+            self._sem.release()
+
+    @contextlib.asynccontextmanager
+    async def slot(self) -> AsyncIterator[None]:
+        """``async with`` wrapper pairing :meth:`acquire` and :meth:`release`."""
+        await self.acquire()
+        try:
+            yield
+        finally:
+            self.release()
+
+    async def drained(self) -> None:
+        """Block until no request holds a slot (used by graceful shutdown)."""
+        await self._idle.wait()
+
+    def _admit(self) -> None:
+        """Book one admitted request."""
+        self.inflight += 1
+        self.accepted += 1
+        self._idle.clear()
+        if self.inflight > self.peak_inflight:
+            self.peak_inflight = self.inflight

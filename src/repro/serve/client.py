@@ -1,0 +1,65 @@
+"""Tiny asyncio HTTP client for the serving plane's JSON endpoints.
+
+Counterpart of :mod:`repro.serve.router`: one request per connection,
+``Content-Length`` bodies, JSON in and out.  Used by the tests, the
+online-adaptation example and the serve-latency benchmark so none of them
+needs an HTTP library the container does not carry.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Dict, Optional, Tuple
+
+__all__ = ["http_json"]
+
+
+async def http_json(
+    host: str,
+    port: int,
+    method: str,
+    path: str,
+    payload: Optional[Dict[str, object]] = None,
+    timeout_s: float = 30.0,
+) -> Tuple[int, Dict[str, object]]:
+    """Send one JSON request; returns ``(status, decoded_body)``.
+
+    Opens a fresh connection (the server speaks ``Connection: close``),
+    writes the request with an optional JSON body, and decodes the JSON
+    response.  Raises ``asyncio.TimeoutError`` if the exchange exceeds
+    ``timeout_s``.
+    """
+
+    async def _exchange() -> Tuple[int, Dict[str, object]]:
+        reader, writer = await asyncio.open_connection(host, port)
+        try:
+            body = (
+                json.dumps(payload, separators=(",", ":")).encode("utf-8")
+                if payload is not None
+                else b""
+            )
+            head = (
+                f"{method} {path} HTTP/1.1\r\n"
+                f"Host: {host}:{port}\r\n"
+                "Content-Type: application/json\r\n"
+                f"Content-Length: {len(body)}\r\n"
+                "Connection: close\r\n"
+                "\r\n"
+            ).encode("latin-1")
+            writer.write(head + body)
+            await writer.drain()
+            raw = await reader.read()
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+        head_blob, _, body_blob = raw.partition(b"\r\n\r\n")
+        status_line = head_blob.split(b"\r\n", 1)[0].decode("latin-1")
+        status = int(status_line.split(" ")[1])
+        decoded = json.loads(body_blob) if body_blob else {}
+        return status, decoded
+
+    return await asyncio.wait_for(_exchange(), timeout=timeout_s)

@@ -1,0 +1,82 @@
+"""Keep-alive janitor: periodic pumping for scale-to-zero.
+
+Offline, the simulator only runs TTL sweeps when an event pops -- between
+arrivals nothing moves, which is exactly right for virtual time.  A live
+server, however, must reclaim idle containers *during* quiet periods: the
+:class:`Janitor` ticks on a wall-clock interval and calls
+:meth:`~repro.serve.engine.ServeEngine.pump`, which applies every due
+completion and runs a TTL sweep at the current wall reading.  When the
+keep-alive TTL passes with no traffic, the last idle container is
+destroyed and the warm pool scales to zero.
+
+Pumping is decision-neutral (see :mod:`repro.serve.engine`): the tick
+interval tunes *reclamation latency* only, never scheduling outcomes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Optional
+
+__all__ = ["Janitor"]
+
+
+class Janitor:
+    """Periodic background task driving an engine's pump.
+
+    Parameters
+    ----------
+    engine:
+        The :class:`~repro.serve.engine.ServeEngine` to pump.
+    stats:
+        Optional :class:`~repro.serve.stats.ServeStats` receiving one
+        ``on_tick`` per sweep (scale-to-zero detection).
+    interval_s:
+        Wall seconds between ticks.
+    """
+
+    def __init__(self, engine, stats=None, interval_s: float = 0.05) -> None:
+        if interval_s <= 0:
+            raise ValueError("interval_s must be positive")
+        self.engine = engine
+        self.stats = stats
+        self.interval_s = interval_s
+        self.events_pumped = 0
+        self._task: Optional[asyncio.Task] = None
+
+    def tick(self, now: Optional[float] = None) -> int:
+        """Run one sweep synchronously; returns events processed.
+
+        ``now`` overrides the engine's wall reading (tests drive virtual
+        janitor time through this).
+        """
+        handled = self.engine.pump(now)
+        self.events_pumped += handled
+        if self.stats is not None:
+            self.stats.on_tick(self.engine.live_containers)
+        return handled
+
+    def start(self) -> None:
+        """Start the periodic task on the running event loop (idempotent)."""
+        if self._task is None or self._task.done():
+            self._task = asyncio.get_running_loop().create_task(self._run())
+
+    async def stop(self) -> None:
+        """Cancel the periodic task and run one final sweep."""
+        if self._task is not None:
+            self._task.cancel()
+            try:
+                await self._task
+            except asyncio.CancelledError:
+                pass
+            self._task = None
+        if not self.engine.closed:
+            self.tick()
+
+    async def _run(self) -> None:
+        """The periodic loop body."""
+        while True:
+            await asyncio.sleep(self.interval_s)
+            if self.engine.closed:
+                return
+            self.tick()

@@ -1,0 +1,151 @@
+"""Bounded serving-session statistics behind the ``/stats`` endpoint.
+
+All state is O(1) in the number of requests: exact counters plus
+per-worker :class:`~repro.cluster.sketches.QuantileSketch` shards for the
+simulated startup latencies and one sketch for wall-clock request
+latencies.  The per-worker shards are folded with
+:meth:`QuantileSketch.merge` at snapshot time -- merging is exact (bucket
+counts add), so the merged percentiles carry the same relative-error bound
+as a single sketch over all requests would.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.cluster.sketches import QuantileSketch
+from repro.cluster.telemetry import InvocationRecord
+
+__all__ = ["ServeStats"]
+
+
+def _sketch_block(sketch: QuantileSketch) -> Dict[str, float]:
+    """Scalar JSON block (count/mean/p50/p95/p99/max) for one sketch."""
+    return {
+        "count": float(sketch.count),
+        "mean_s": sketch.mean,
+        "p50_s": sketch.quantile(0.5),
+        "p95_s": sketch.quantile(0.95),
+        "p99_s": sketch.quantile(0.99),
+        "max_s": sketch.max,
+    }
+
+
+class ServeStats:
+    """Counters and latency sketches for one serving session.
+
+    Parameters
+    ----------
+    n_workers:
+        Cluster worker count; one startup-latency sketch shard is kept per
+        worker and merged on demand.
+    relative_accuracy:
+        Relative-error bound of every sketch (default 1%).
+    """
+
+    def __init__(self, n_workers: int, relative_accuracy: float = 0.01) -> None:
+        if n_workers < 1:
+            raise ValueError("n_workers must be >= 1")
+        self.relative_accuracy = relative_accuracy
+        self.requests = 0
+        self.cold_starts = 0
+        self.warm_hits = 0
+        self.rejected = 0
+        self.errors = 0
+        self.janitor_ticks = 0
+        self.scale_to_zero_events = 0
+        self._worker_sketches: List[QuantileSketch] = [
+            QuantileSketch(relative_accuracy) for _ in range(n_workers)
+        ]
+        self._wall_sketch = QuantileSketch(relative_accuracy)
+        self._had_live = False
+
+    # -- ingestion -----------------------------------------------------------
+    def on_decision(self, record: InvocationRecord) -> None:
+        """Account one scheduling decision into its worker's shard."""
+        self.requests += 1
+        if record.cold_start:
+            self.cold_starts += 1
+        else:
+            self.warm_hits += 1
+        self._worker_sketches[record.worker_id].insert(
+            record.startup_latency_s
+        )
+
+    def on_wall_latency(self, seconds: float) -> None:
+        """Record one request's wall-clock handling latency."""
+        self._wall_sketch.insert(seconds if seconds > 0.0 else 0.0)
+
+    def on_reject(self) -> None:
+        """Count one admission rejection (HTTP 429)."""
+        self.rejected += 1
+
+    def on_error(self) -> None:
+        """Count one failed request (bad payload, unknown function, ...)."""
+        self.errors += 1
+
+    def on_tick(self, live_containers: int) -> None:
+        """Account one janitor tick; detects scale-to-zero transitions.
+
+        A scale-to-zero event is the pool going from "had live containers"
+        to "none alive" -- i.e. the keep-alive TTL reclaimed the last idle
+        container during a quiet period.
+        """
+        self.janitor_ticks += 1
+        if live_containers > 0:
+            self._had_live = True
+        elif self._had_live:
+            self.scale_to_zero_events += 1
+            self._had_live = False
+
+    # -- views ---------------------------------------------------------------
+    @property
+    def warm_hit_rate(self) -> float:
+        """Fraction of requests served from the warm pool (0 when empty)."""
+        return self.warm_hits / self.requests if self.requests else 0.0
+
+    def merged_startup_sketch(self) -> QuantileSketch:
+        """Fold the per-worker shards into one session-wide sketch."""
+        merged = QuantileSketch(self.relative_accuracy)
+        for shard in self._worker_sketches:
+            merged.merge(shard)
+        return merged
+
+    def snapshot(self, engine: Optional[object] = None) -> Dict[str, object]:
+        """JSON-serializable ``/stats`` payload.
+
+        ``engine`` (a :class:`~repro.serve.engine.ServeEngine`) adds the
+        live cluster view -- in-flight requests, live/pooled containers,
+        active scheduler -- and the simulator telemetry's own counters.
+        """
+        payload: Dict[str, object] = {
+            "requests": self.requests,
+            "cold_starts": self.cold_starts,
+            "warm_hits": self.warm_hits,
+            "warm_hit_rate": self.warm_hit_rate,
+            "rejected": self.rejected,
+            "errors": self.errors,
+            "janitor_ticks": self.janitor_ticks,
+            "scale_to_zero_events": self.scale_to_zero_events,
+            "startup_latency": _sketch_block(self.merged_startup_sketch()),
+            "wall_latency": _sketch_block(self._wall_sketch),
+            "per_worker_decisions": [
+                s.count for s in self._worker_sketches
+            ],
+        }
+        if engine is not None:
+            payload["scheduler"] = engine.scheduler_key
+            payload["scheduler_swaps"] = engine.swaps
+            payload["inflight"] = engine.sim_inflight
+            payload["live_containers"] = engine.live_containers
+            payload["pooled_containers"] = engine.pooled_containers
+            payload["keepalive_ttl_s"] = engine.keepalive_ttl_s
+            telemetry = engine.sim.telemetry
+            payload["telemetry"] = {
+                "evictions": telemetry.evictions,
+                "keep_alive_rejections": telemetry.keep_alive_rejections,
+                "ttl_expirations": telemetry.ttl_expirations,
+                "peak_warm_memory_mb": telemetry.peak_warm_memory_mb,
+                "peak_live_memory_mb": telemetry.peak_live_memory_mb,
+            }
+        return payload

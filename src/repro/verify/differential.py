@@ -33,6 +33,11 @@ streaming_vs_materialized  ``ClusterSimulator.run_stream`` over a lazy
                            and per-invocation columns, for both a
                            wrapped FStartBench list and a chunk-
                            synthesized Azure stream)
+serve_replay               a recorded ``repro.serve`` session (wall-
+                           stamped arrivals, janitor pumps between
+                           requests, a scheduler hot-swap) replayed
+                           through a fresh engine makes byte-identical
+                           decisions
 =========================  ==============================================
 
 Runnable as the ``tests/test_verify_differential.py`` pytest suite and as
@@ -477,6 +482,90 @@ def oracle_streaming_vs_materialized() -> OracleResult:
     )
 
 
+def oracle_serve_replay() -> OracleResult:
+    """A served session's decisions equal their deterministic replay.
+
+    Drives a :class:`~repro.serve.engine.ServeEngine` headlessly with a
+    scripted wall clock standing in for real time: bursty arrivals over
+    four Table-II functions, janitor pumps between requests (including one
+    long quiet period that scales the pool to zero through the keep-alive
+    TTL) and a mid-session scheduler hot-swap.  The in-memory recording is
+    then replayed through a fresh engine -- no janitor, no wall clock --
+    and every decision field is compared, plus the two sessions' telemetry
+    summaries after drain.
+    """
+    from repro.cluster.eventloop import VirtualClock
+    from repro.serve.engine import ServeEngine
+    from repro.serve.janitor import Janitor
+    from repro.serve.recorder import (
+        DecisionRecorder,
+        read_recording,
+        replay_recording,
+    )
+
+    name = "serve_replay"
+    recorder = DecisionRecorder()
+    wall = VirtualClock()
+    config = SimulationConfig(
+        pool_capacity_mb=3000.0, n_workers=3, worker_concurrency=2,
+        verify=True,
+    )
+    engine = ServeEngine(
+        config, scheduler="keepalive", wall=wall, keepalive_ttl_s=8.0,
+        recorder=recorder,
+    )
+    janitor = Janitor(engine)
+    functions = ("hello-python", "hello-java", "analytics-numpy",
+                 "ml-inference")
+    rng = np.random.default_rng(7)
+    t = 0.0
+    for i in range(48):
+        # Bursty arrivals: mostly sub-second gaps, occasionally a pause
+        # longer than the keep-alive TTL (forcing TTL expiry + scale to
+        # zero between requests).
+        t += float(rng.uniform(0.05, 0.8)) if i % 16 else 10.0
+        # Janitor ticks fire between requests at wall cadence; they must
+        # not change any decision.
+        while wall.now + 0.5 < t:
+            wall.advance_to(wall.now + 0.5)
+            janitor.tick()
+        wall.advance_to(t)
+        engine.submit(functions[i % len(functions)])
+        if i == 23:
+            engine.swap_scheduler("greedy")
+    served = engine.drain()
+
+    report = replay_recording(recorder.lines(), verify=True)
+    if not report.ok:
+        return OracleResult(name, False, str(report.divergence))
+    if report.n_decisions != 48 or report.n_swaps != 1:
+        return OracleResult(
+            name, False,
+            f"replay covered {report.n_decisions} decisions / "
+            f"{report.n_swaps} swaps, expected 48 / 1",
+        )
+
+    # Replays must also reproduce the session-level telemetry summary.
+    _header, entries = read_recording(recorder.lines())
+    replay_engine = ServeEngine(
+        config, scheduler="keepalive", keepalive_ttl_s=8.0,
+    )
+    for entry in entries:
+        if "swap" in entry:
+            replay_engine.swap_scheduler(entry["swap"])
+        else:
+            replay_engine.submit(entry["fn"], exec_time_s=entry["exec"],
+                                 now=entry["t"])
+    replayed = replay_engine.drain()
+    mismatch = _summaries_equal(served.summary(), replayed.summary())
+    if mismatch:
+        return OracleResult(name, False, mismatch)
+    return OracleResult(
+        name, True,
+        "48 decisions + 1 swap byte-identical, summaries equal",
+    )
+
+
 #: Registry of every differential oracle, in documentation order.
 ORACLES: Dict[str, Callable[[], OracleResult]] = {
     "batch_vs_incremental": oracle_batch_vs_incremental,
@@ -487,6 +576,7 @@ ORACLES: Dict[str, Callable[[], OracleResult]] = {
     "sequential_vs_batched": oracle_sequential_vs_batched,
     "cached_vs_fresh": oracle_cached_vs_fresh,
     "streaming_vs_materialized": oracle_streaming_vs_materialized,
+    "serve_replay": oracle_serve_replay,
 }
 
 

@@ -478,3 +478,25 @@ class VerificationHarness:
         self.checks_run += 1
         for monitor in self.monitors:
             monitor.check()
+
+    def health_report(self) -> dict:
+        """Run one checkpoint and report it as a health-check payload.
+
+        The serving plane's ``/healthz`` endpoint calls this on demand:
+        instead of letting the first :class:`InvariantViolation` propagate
+        (as the per-event hooks do), the violation is captured and returned
+        as data -- ``{"healthy": bool, "monitors": [...], "checks_run": n,
+        "violation": str | None}`` -- so an unhealthy server answers 500
+        with the failed invariant rather than dying mid-request.
+        """
+        violation: Optional[str] = None
+        try:
+            self.checkpoint()
+        except InvariantViolation as exc:
+            violation = str(exc)
+        return {
+            "healthy": violation is None,
+            "monitors": [monitor.name for monitor in self.monitors],
+            "checks_run": self.checks_run,
+            "violation": violation,
+        }

@@ -11,6 +11,7 @@ from repro.workloads.functions import (
     FunctionSpec,
     fstartbench_functions,
     function_by_id,
+    function_by_name,
 )
 from repro.workloads.workload import Invocation, Workload
 from repro.workloads.arrivals import (
@@ -58,6 +59,7 @@ __all__ = [
     "FunctionSpec",
     "fstartbench_functions",
     "function_by_id",
+    "function_by_name",
     "Invocation",
     "Workload",
     "ArrivalProcess",

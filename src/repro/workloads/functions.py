@@ -199,3 +199,17 @@ def functions_by_ids(
 ) -> List[FunctionSpec]:
     """Look up several Table-II functions, preserving order."""
     return [function_by_id(i, catalog) for i in ids]
+
+
+def function_by_name(
+    name: str, catalog: PackageCatalog | None = None
+) -> FunctionSpec:
+    """Look up one Table-II function by its name (e.g. ``"hello-python"``).
+
+    The serving plane resolves request payloads and replayed arrival logs
+    through this, so function names are a stable wire format.
+    """
+    for spec in fstartbench_functions(catalog):
+        if spec.name == name:
+            return spec
+    raise KeyError(f"no FStartBench function named {name!r}")

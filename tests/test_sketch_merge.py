@@ -1,0 +1,98 @@
+"""Property tests for ``QuantileSketch.merge``: merging per-shard sketches
+is exactly equivalent to one sketch over the concatenated samples, and the
+merged estimates stay within the sketch's rank-error bound."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.sketches import QuantileSketch
+
+# Shards of non-negative samples spanning several orders of magnitude,
+# zeros included (they take the sketch's dedicated zero path).
+_sample = st.one_of(
+    st.just(0.0),
+    st.floats(min_value=1e-4, max_value=1e5, allow_nan=False,
+              allow_infinity=False),
+)
+_shards = st.lists(
+    st.lists(_sample, min_size=0, max_size=40), min_size=1, max_size=6
+)
+_accuracy = st.sampled_from([0.005, 0.01, 0.05])
+_quantiles = (0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0)
+
+
+def _merged(shards, accuracy):
+    merged = QuantileSketch(accuracy)
+    for shard in shards:
+        sketch = QuantileSketch(accuracy)
+        for value in shard:
+            sketch.insert(value)
+        merged.merge(sketch)
+    return merged
+
+
+@settings(max_examples=150, deadline=None)
+@given(shards=_shards, accuracy=_accuracy)
+def test_merge_equals_concatenated_sketch(shards, accuracy):
+    """Merged shard sketches and one flat sketch are indistinguishable."""
+    merged = _merged(shards, accuracy)
+    flat = QuantileSketch(accuracy)
+    for shard in shards:
+        for value in shard:
+            flat.insert(value)
+
+    assert merged.count == flat.count
+    # Summation order differs across shards, so the exact sums may differ
+    # by float-associativity ulps; everything rank-related is exact.
+    assert math.isclose(merged.sum, flat.sum, rel_tol=1e-12, abs_tol=1e-12)
+    assert merged.min == flat.min
+    assert merged.max == flat.max
+    assert merged._buckets == flat._buckets
+    assert merged._zero_count == flat._zero_count
+    for q in _quantiles:
+        assert merged.quantile(q) == flat.quantile(q)
+
+
+@settings(max_examples=150, deadline=None)
+@given(shards=_shards, accuracy=_accuracy)
+def test_merged_quantiles_within_rank_error_bound(shards, accuracy):
+    """Every merged estimate is within ``relative_accuracy`` of the true
+    order statistic of the concatenated samples."""
+    samples = sorted(v for shard in shards for v in shard)
+    if not samples:
+        return
+    merged = _merged(shards, accuracy)
+    n = len(samples)
+    for q in _quantiles:
+        estimate = merged.quantile(q)
+        truth = samples[math.floor(q * (n - 1))]
+        assert abs(estimate - truth) <= accuracy * truth + 1e-12, (
+            f"q={q}: estimate {estimate} vs true {truth} "
+            f"(bound {accuracy * truth})"
+        )
+
+
+def test_merge_rejects_mismatched_accuracy():
+    a = QuantileSketch(0.01)
+    b = QuantileSketch(0.02)
+    try:
+        a.merge(b)
+    except ValueError:
+        return
+    raise AssertionError("merging mismatched accuracies must fail")
+
+
+def test_merge_into_empty_and_from_empty():
+    empty = QuantileSketch()
+    full = QuantileSketch()
+    for v in (0.0, 0.5, 2.0, 100.0):
+        full.insert(v)
+    # empty <- full carries everything over …
+    empty.merge(full)
+    assert empty.count == 4 and empty.max == 100.0
+    # … and full <- empty is a no-op.
+    before = dict(full._buckets)
+    full.merge(QuantileSketch())
+    assert full.count == 4 and full._buckets == before

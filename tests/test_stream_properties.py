@@ -19,7 +19,7 @@ These properties pin that story under randomized inputs:
 
 import math
 
-from hypothesis import given, settings
+from hypothesis import assume, given, settings
 from hypothesis import strategies as st
 
 from repro.cluster.simulator import ClusterSimulator, SimulationConfig
@@ -138,6 +138,8 @@ def test_merge_rejects_out_of_order_source(lists):
     n_invocations=st.integers(min_value=1, max_value=600),
 )
 def test_azure_stream_matches_generate(seed, n_functions, n_invocations):
+    # AzureTraceConfig requires at least one invocation per function.
+    assume(n_invocations >= n_functions)
     gen = AzureTraceGenerator(AzureTraceConfig(
         n_functions=n_functions,
         n_invocations=n_invocations,

@@ -1,0 +1,89 @@
+"""Micro-benchmark for distilled-policy decisions (not a paper figure).
+
+The distilled tree surrogate exists to cut per-decision latency from the
+network's hundreds of microseconds (paper Section VI-D: "3-4 ms" on
+their hardware) to a microsecond-scale tree walk.  This times both paths
+on the same encoded state and pins the >= 10x speedup the distillation
+is for.  Fidelity (>= 99% action agreement on real decision traces) is
+the ``surrogate_vs_network`` oracle's job; here an untrained network is
+used so the default capture set stays free of DRL training.
+"""
+
+import time
+
+import numpy as np
+
+from repro.core.config import MLCRConfig
+from repro.core.state import StateEncoder
+from repro.drl.distill import DistillConfig, fit_tree
+from repro.drl.dqn import DQNAgent
+from repro.drl.network import AttentionQNetwork
+
+
+def _make_agent():
+    """Paper-architecture agent with fresh weights (forward cost only)."""
+    cfg = MLCRConfig()
+    encoder = StateEncoder(n_slots=cfg.n_slots)
+
+    def factory():
+        return AttentionQNetwork(
+            global_dim=encoder.global_dim,
+            slot_dim=encoder.slot_dim,
+            n_slots=encoder.n_slots,
+            rng=np.random.default_rng(2),
+            model_dim=cfg.model_dim,
+            n_heads=cfg.n_heads,
+            n_blocks=cfg.n_blocks,
+            head_hidden=cfg.head_hidden,
+            dtype=cfg.np_dtype,
+        )
+
+    return DQNAgent(
+        network_factory=factory, config=cfg.dqn,
+        rng=np.random.default_rng(0),
+    )
+
+
+def _distilled(agent, n_states=256):
+    rng = np.random.default_rng(0)
+    states = rng.normal(size=(n_states, agent.online.state_dim))
+    mask = np.ones(agent.action_dim, dtype=bool)
+    actions = np.array([agent.act(s, mask, 0.0) for s in states])
+    tree = fit_tree(states, actions, agent.action_dim,
+                    DistillConfig(max_depth=12))
+    return tree, states[0], mask
+
+
+def test_network_decision_latency(benchmark):
+    """One masked greedy forward pass of the full attention network."""
+    agent = _make_agent()
+    state = np.zeros(agent.online.state_dim)
+    mask = np.ones(agent.action_dim, dtype=bool)
+    benchmark(agent.act, state, mask, 0.0)
+    assert benchmark.stats["mean"] < 0.05
+
+
+def test_surrogate_decision_latency(benchmark, emit):
+    """Masked tree-walk decision; must be >= 10x the network forward."""
+    agent = _make_agent()
+    tree, state, mask = _distilled(agent)
+
+    network_s = float("inf")
+    for _ in range(200):
+        t0 = time.perf_counter()
+        agent.act(state, mask, 0.0)
+        network_s = min(network_s, time.perf_counter() - t0)
+
+    benchmark(tree.act, state, mask)
+    # Microsecond-scale timing: load jitter exceeds the 30% guard band,
+    # so the relative assert below is the gate instead of the baseline.
+    benchmark.extra_info["no_guard"] = True
+
+    surrogate_s = benchmark.stats["min"]
+    speedup = network_s / surrogate_s
+    emit(
+        f"distilled decision: network {network_s * 1e6:.1f} us vs "
+        f"surrogate {surrogate_s * 1e6:.2f} us ({speedup:.1f}x, "
+        f"{tree.n_nodes} nodes)"
+    )
+    assert speedup >= 10.0

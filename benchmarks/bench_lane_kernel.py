@@ -1,0 +1,67 @@
+"""Micro-benchmark for the multi-lane simulator kernel (not a paper figure).
+
+Grid sweeps spend their time running many independent ``(scheduler,
+workload, seed, capacity)`` cells; the lane kernel advances a batch of
+them in lockstep through one arrival table instead of paying the full
+event-loop machinery per cell.  This measures an 8-lane batch against
+the sequential per-cell path on the same cells and pins the >= 3x
+speedup the kernel exists for -- while asserting the summaries stay
+byte-identical (the ``lanes_vs_sequential`` oracle guards the same
+property over a wider grid).
+"""
+
+import time
+
+from repro.cluster.lanes import LANE_SCHEDULERS, LaneKernel, LaneSpec
+from repro.experiments.parallel import (
+    GridTask,
+    cached_arrival_table,
+    cached_workload,
+    run_task,
+)
+
+#: 8 cells = every lane-supported scheduler x two pool capacities.
+CELLS = [
+    GridTask(scheduler=s, workload="LO-Sim", seed=0,
+             pool_label="Bench", capacity_mb=c)
+    for s in sorted(LANE_SCHEDULERS) for c in (800.0, 4000.0)
+]
+
+
+def _kernel_batch():
+    specs = [
+        LaneSpec(
+            scheduler=task.scheduler,
+            table=cached_arrival_table(task.workload, task.seed),
+            capacity_mb=task.capacity_mb,
+        )
+        for task in CELLS
+    ]
+    return LaneKernel(specs).run()
+
+
+def test_lane_kernel_8_lanes(benchmark, emit):
+    """8-lane kernel batch vs the sequential per-cell path (>= 3x)."""
+    for task in CELLS:  # warm the per-process workload/table memos
+        cached_workload(task.workload, task.seed)
+        cached_arrival_table(task.workload, task.seed)
+
+    sequential_s = float("inf")
+    for _ in range(2):
+        t0 = time.perf_counter()
+        sequential = [run_task(task) for task in CELLS]
+        sequential_s = min(sequential_s, time.perf_counter() - t0)
+
+    results = benchmark(_kernel_batch)
+
+    # Parity backstop: the speed means nothing if the cells drift.
+    for cell, result in zip(sequential, results):
+        assert list(result.summary.items()) == list(cell.summary.items())
+
+    speedup = sequential_s / benchmark.stats["min"]
+    emit(
+        f"lane kernel: {len(CELLS)} cells, sequential "
+        f"{sequential_s * 1e3:.1f} ms vs 8-lane batch "
+        f"{benchmark.stats['min'] * 1e3:.1f} ms ({speedup:.2f}x)"
+    )
+    assert speedup >= 3.0

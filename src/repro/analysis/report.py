@@ -91,6 +91,28 @@ def queueing_report(telemetry: "Telemetry", title: str = "Startup queueing") -> 
     return ascii_table(["metric", "value"], rows, title=title)
 
 
+def surrogate_report(
+    telemetry: "Telemetry", title: str = "Distilled-policy audit"
+) -> str:
+    """Render a run's surrogate-audit counters as a table.
+
+    Shows how many distilled-surrogate decisions were double-checked
+    against the full network and how many disagreed (distillation drift).
+    Empty string when the run never audited a surrogate (no distilled
+    policy attached, or auditing disabled).
+    """
+    audits = getattr(telemetry, "surrogate_audits", 0)
+    if not audits:
+        return ""
+    disagreements = telemetry.surrogate_disagreements
+    rows = [
+        ["audited decisions", f"{audits}"],
+        ["disagreements", f"{disagreements}"],
+        ["agreement", f"{1.0 - disagreements / audits:.1%}"],
+    ]
+    return ascii_table(["metric", "value"], rows, title=title)
+
+
 def worker_utilization_report(
     telemetry: "Telemetry", title: str = "Worker utilization"
 ) -> str:

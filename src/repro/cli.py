@@ -8,6 +8,9 @@ Commands
     Run one scheduler over one workload at a chosen pool level.
 ``train``
     Train an MLCR policy and save it to a ``.npz`` file.
+``distill``
+    Distill a trained MLCR policy into a µs-scale decision-tree surrogate
+    and save it next to the network checkpoint.
 ``experiment``
     Run a paper experiment by id (fig1, fig2, fig3, tab2, fig8, fig9,
     fig10, fig11a/b/c, overhead, ablations, stream) and print its report.
@@ -95,7 +98,10 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     given; ``--profile`` prints the top cumulative-time entries of the
     run.  ``--stream`` feeds arrivals through the O(1)-memory streaming
     pipeline (``run_stream``) instead of batch ``run``; the printed table
-    is identical either way.
+    is identical either way.  ``--lanes L`` batches supported schedulers
+    onto the lane kernel, L cells per process step (byte-identical
+    results); combined with ``--profile`` the profile attributes time
+    inside the kernel itself, not just the per-cell driver.
     """
     from repro.experiments.cache import ExperimentCache, pool_sizes_cached
 
@@ -114,10 +120,12 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         from repro.profiling import profile_call
 
         cells = profile_call(
-            lambda: run_grid(tasks, jobs=args.jobs, cache=cache)
+            lambda: run_grid(tasks, jobs=args.jobs, cache=cache,
+                             lanes=args.lanes)
         )
     else:
-        cells = run_grid(tasks, jobs=args.jobs, cache=cache)
+        cells = run_grid(tasks, jobs=args.jobs, cache=cache,
+                         lanes=args.lanes)
     rows = []
     for cell in cells:
         s = cell.summary
@@ -165,6 +173,39 @@ def cmd_train(args: argparse.Namespace) -> int:
     print(f"best validation latency: {history.best_eval_latency:.1f}s")
     print(f"saved policy to {path}")
     return 0
+
+
+def cmd_distill(args: argparse.Namespace) -> int:
+    """``repro distill``: compress a trained policy into a tree surrogate.
+
+    Loads the ``.npz`` checkpoint, replays ``--seeds`` draws of the
+    workload through the network to collect its greedy decisions, fits
+    the CART surrogate and saves it.  The printed report shows dataset
+    size, tree size and in-sample agreement -- the quantity the
+    ``surrogate_vs_network`` oracle bounds at 99 %.
+    """
+    from repro.core.persistence import load_scheduler
+    from repro.drl.distill import (
+        DistillConfig,
+        distill_scheduler,
+        save_surrogate,
+    )
+
+    scheduler = load_scheduler(args.policy)
+    builder = WORKLOAD_BUILDERS[args.workload]
+    capacity = pool_sizes(builder(seed=0))[args.pool.capitalize()]
+    workloads = [builder(seed=s) for s in range(args.seeds)]
+    print(f"distilling {args.policy} over {args.seeds} draws of "
+          f"{args.workload}@{args.pool} ({capacity:.0f} MB)...")
+    surrogate, report = distill_scheduler(
+        scheduler, workloads, capacity,
+        config=DistillConfig(max_depth=args.max_depth),
+    )
+    save_surrogate(surrogate, args.output)
+    print(f"{report.n_states} states -> {report.n_nodes} tree nodes, "
+          f"in-sample agreement {report.agreement:.1%}")
+    print(f"saved surrogate to {args.output}")
+    return 0 if report.agreement >= 0.99 else 1
 
 
 def cmd_experiment(args: argparse.Namespace) -> int:
@@ -272,9 +313,26 @@ def cmd_serve(args: argparse.Namespace) -> int:
         verify=not args.no_verify,
     )
     recorder = DecisionRecorder(args.record) if args.record else None
+    scheduler = args.scheduler
+    if args.policy:
+        from repro.core.persistence import load_scheduler
+
+        if args.record:
+            print("--policy cannot be combined with --record: replay "
+                  "rebuilds schedulers from registry keys", file=sys.stderr)
+            return 2
+        scheduler = load_scheduler(args.policy)
+        if args.surrogate:
+            from repro.drl.distill import load_surrogate
+
+            scheduler.attach_surrogate(load_surrogate(args.surrogate),
+                                       audit_every=args.audit_every)
+    elif args.surrogate:
+        print("--surrogate requires --policy", file=sys.stderr)
+        return 2
     engine = ServeEngine(
         config,
-        scheduler=args.scheduler,
+        scheduler=scheduler,
         keepalive_ttl_s=args.keepalive,
         recorder=recorder,
     )
@@ -289,7 +347,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
     async def _run() -> None:
         await plane.start()
         print(f"serving on http://{args.host}:{plane.port} "
-              f"(scheduler={args.scheduler}, workers={args.workers}, "
+              f"(scheduler={engine.scheduler_key}, workers={args.workers}, "
               f"pool={args.pool_mb:.0f} MB)")
         print("endpoints: POST /invoke  GET /stats  GET /healthz  "
               "POST /scheduler")
@@ -362,6 +420,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--profile", action="store_true",
                    help="run under cProfile and print the top-25 "
                         "cumulative-time entries")
+    p.add_argument("--lanes", type=int, default=1,
+                   help="simulation lanes per process: batch supported "
+                        "schedulers onto the lane kernel (byte-identical "
+                        "results, several times faster)")
     p.set_defaults(func=cmd_simulate)
 
     p = sub.add_parser("train", help="train and save an MLCR policy")
@@ -375,6 +437,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--output", default="mlcr_policy.npz")
     p.add_argument("--verbose", action="store_true")
     p.set_defaults(func=cmd_train)
+
+    p = sub.add_parser("distill",
+                       help="distill a trained policy into a tree surrogate")
+    p.add_argument("--policy", default="mlcr_policy.npz",
+                   help="trained checkpoint from `repro train`")
+    p.add_argument("--workload", default="Overall",
+                   choices=sorted(WORKLOAD_BUILDERS))
+    p.add_argument("--pool", default="tight",
+                   choices=["tight", "moderate", "loose"])
+    p.add_argument("--seeds", type=int, default=3,
+                   help="workload draws to collect decisions over")
+    p.add_argument("--max-depth", type=int, default=12,
+                   help="decision-tree depth bound")
+    p.add_argument("--output", default="mlcr_surrogate.npz")
+    p.set_defaults(func=cmd_distill)
 
     p = sub.add_parser("experiment", help="run a paper experiment")
     p.add_argument("id", choices=_EXPERIMENTS)
@@ -435,6 +512,15 @@ def build_parser() -> argparse.ArgumentParser:
                         "deterministic replay")
     p.add_argument("--no-verify", action="store_true",
                    help="disable the live invariant monitors")
+    p.add_argument("--policy", default=None,
+                   help="serve a trained MLCR checkpoint (.npz from "
+                        "`repro train`) instead of a registry scheduler")
+    p.add_argument("--surrogate", default=None,
+                   help="serve decisions from a distilled surrogate (.npz "
+                        "from `repro distill`); requires --policy")
+    p.add_argument("--audit-every", type=int, default=64,
+                   help="audit every Nth surrogate decision against the "
+                        "network (0 disables auditing)")
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("serve-replay",

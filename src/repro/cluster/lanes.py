@@ -1,0 +1,449 @@
+"""Multi-lane simulation kernel: many grid cells per process, lean and fast.
+
+A grid sweep replays thousands of *independent* simulations -- one per
+``(scheduler, workload, seed, capacity)`` cell.  The sequential path runs
+each cell through the full :class:`~repro.cluster.simulator.ClusterSimulator`
+stack: per-event :class:`~repro.cluster.events.Event` objects, the layered
+lifecycle (cleaner, volumes, placement), a 16-column telemetry append per
+invocation, and a :class:`~repro.schedulers.base.SchedulingContext` whose
+construction sorts the whole pool per arrival.  None of that machinery is
+needed to produce the *summary* a grid cell actually carries.
+
+This module advances many **lanes** (one lane = one cell) per step through a
+struct-of-arrays kernel:
+
+* **Batched arrival ingestion** -- each workload draw is lowered once into an
+  :class:`ArrivalTable`: numpy columns (arrival time, execution time,
+  function index) plus a per-``(function, match level)`` startup-latency
+  table computed through the exact same
+  :meth:`~repro.containers.costmodel.StartupCostModel.breakdown` call the
+  sequential driver makes per arrival.  The hot loop never touches an
+  :class:`~repro.workloads.workload.Invocation` object.  Tables are shared
+  by every lane replaying the same draw.
+* **Lockstep stepping** -- :meth:`LaneKernel.run` advances every active lane
+  to its ``k``-th arrival per step: due completions drain, TTL sweeps run,
+  then the step's decisions are scored as a batch
+  (:meth:`LaneKernel._score_batch`) against each lane's warm-pool match
+  index before being applied.  The active-lane bookkeeping (arrival
+  cursors, remaining counts) is vectorized numpy.
+* **Shared pool semantics** -- each lane reuses the *real*
+  :class:`~repro.cluster.pool.WarmPool` and
+  :class:`~repro.cluster.eviction.EvictionPolicy` objects, so eviction
+  ordering, TTL expiry, capacity accounting and peak tracking are identical
+  to the sequential simulator by construction, not by reimplementation.
+
+**Byte-identical contract.**  For the supported schedulers
+(:data:`LANE_SCHEDULERS`) and the default grid configuration (no worker
+concurrency limit, single pool shard, faults off), a lane's
+:meth:`_Lane.summary` is bit-equal to
+``ClusterSimulator.run(...).telemetry.summary()`` for the same cell: same
+event order (``(time, priority, seq)`` with arrivals before same-time
+completions), same decisions (the fast paths delegate to the same pool-index
+lookups the schedulers use), same floating-point accumulation order for
+latency totals and memory peaks.  The ``lanes_vs_sequential`` differential
+oracle and the hypothesis suite in ``tests/test_lanes.py`` enforce this.
+
+Wired into :func:`repro.experiments.parallel.run_grid` via its ``lanes``
+argument and the CLI's ``repro simulate --lanes`` /
+``runall --lanes`` flags.
+"""
+
+from __future__ import annotations
+
+import heapq
+from array import array
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cluster.eviction import (
+    EvictionPolicy,
+    LRUEviction,
+    RejectNewcomerEviction,
+)
+from repro.cluster.pool import WarmPool
+from repro.containers.container import Container, ContainerState
+from repro.containers.costmodel import StartupCostModel
+from repro.containers.matching import MatchLevel
+from repro.workloads.workload import Workload
+
+__all__ = [
+    "ArrivalTable",
+    "LANE_SCHEDULERS",
+    "LaneKernel",
+    "LaneResult",
+    "LaneSpec",
+    "lane_supported_scheduler",
+]
+
+#: Decision fast-path codes (one per supported scheduler family).
+_DECIDE_COLD = 0   # always cold-start (ColdOnly)
+_DECIDE_EXACT = 1  # MRU exact (L3) match or cold (LRU, KeepAlive)
+_DECIDE_BEST = 2   # deepest match at any level or cold (Greedy-Match)
+
+#: Schedulers the lane kernel can replay: registry key ->
+#: ``(display name, decision code, eviction-policy factory)``.  The decision
+#: fast paths are provably identical to the schedulers' ``decide``: LRU and
+#: KeepAlive take the most-recently-used exact match
+#: (``SchedulingContext.exact_matches()[0]``), Greedy-Match takes
+#: ``pool.best_match`` when reusable, ColdOnly always cold-starts -- all of
+#: which resolve through the same warm-pool match index the kernel queries
+#: directly.  Everything else (FaasCache's stateful priorities, lookahead,
+#: MLCR) falls back to the sequential driver.
+LANE_SCHEDULERS: Dict[str, Tuple[str, int, Callable[[], EvictionPolicy]]] = {
+    "lru": ("LRU", _DECIDE_EXACT, LRUEviction),
+    "keepalive": (
+        "KeepAlive",
+        _DECIDE_EXACT,
+        lambda: RejectNewcomerEviction(ttl_s=600.0),
+    ),
+    "greedy": ("Greedy-Match", _DECIDE_BEST, LRUEviction),
+    "coldonly": ("ColdOnly", _DECIDE_COLD, LRUEviction),
+}
+
+#: Completion-event kind codes inside a lane's heap.
+_STARTUP_DONE = 0
+_EXECUTION_DONE = 1
+
+
+def lane_supported_scheduler(key: str) -> bool:
+    """Whether scheduler registry ``key`` has a lane fast path."""
+    return key in LANE_SCHEDULERS
+
+
+class ArrivalTable:
+    """Columnar (struct-of-arrays) lowering of one workload draw.
+
+    Built once per ``(workload, cost model)`` and shared read-only by every
+    lane that replays the draw.  Columns are parallel arrays over the
+    workload's arrival order (which the workload constructor already sorts
+    by ``(arrival_time, invocation_id)`` -- the same order the event queue
+    pops same-time arrivals in):
+
+    ``times`` / ``exec_s``
+        Arrival timestamps and execution durations (float64).
+    ``fn_ix``
+        Index into :attr:`specs` for each arrival (int32).
+    ``latency``
+        ``latency[fn][int(match)]`` -- the startup latency of starting
+        ``specs[fn]`` at a given Table-I match level, precomputed through
+        the same cost-model :meth:`~repro.containers.costmodel.\
+StartupCostModel.breakdown` the sequential driver evaluates per arrival
+        (breakdowns are pure and order-independent, so the floats are
+        bit-identical).
+    """
+
+    def __init__(
+        self, workload: Workload, cost_model: Optional[StartupCostModel] = None
+    ) -> None:
+        cost_model = cost_model or StartupCostModel()
+        invocations = list(workload)
+        self.name = workload.name
+        self.n = len(invocations)
+        self.times = np.fromiter(
+            (inv.arrival_time for inv in invocations),
+            dtype=np.float64, count=self.n,
+        )
+        self.exec_s = np.fromiter(
+            (inv.execution_time_s for inv in invocations),
+            dtype=np.float64, count=self.n,
+        )
+        specs: List = []
+        index_of: Dict[int, int] = {}
+        fn_ix = np.empty(self.n, dtype=np.int32)
+        for i, inv in enumerate(invocations):
+            spec = inv.spec
+            key = id(spec)
+            ix = index_of.get(key)
+            if ix is None:
+                ix = index_of[key] = len(specs)
+                specs.append(spec)
+            fn_ix[i] = ix
+        self.fn_ix = fn_ix
+        self.specs = specs
+        self.latency: List[List[float]] = [
+            [
+                cost_model.breakdown(
+                    spec.image, level, spec.function_init_s
+                ).total_s
+                for level in MatchLevel
+            ]
+            for spec in specs
+        ]
+
+
+@dataclass(frozen=True)
+class LaneSpec:
+    """One lane of a kernel run: a scheduler replaying a workload draw.
+
+    ``scheduler`` must be a :data:`LANE_SCHEDULERS` key; ``table`` is the
+    (shareable) columnar lowering of the lane's workload and
+    ``capacity_mb`` the warm-pool capacity of the cell.
+    """
+
+    scheduler: str
+    table: ArrivalTable
+    capacity_mb: float
+
+
+@dataclass(frozen=True)
+class LaneResult:
+    """Outcome of one lane: the cell's method name and telemetry summary."""
+
+    method: str
+    summary: Dict[str, float]
+
+
+class _Lane:
+    """Mutable per-lane simulation state (pool, heap, counters).
+
+    Only the fields the summary depends on are simulated; containers are
+    real :class:`~repro.containers.container.Container` objects (the pool
+    and eviction policies read their id, image, recency and idle state) but
+    the checked state-machine transitions, cleaner, volumes and placement
+    bookkeeping of the sequential lifecycle -- none of which influence a
+    summary under the supported configuration -- are skipped.
+    """
+
+    __slots__ = (
+        "table", "method", "decide_code", "eviction", "ttl_s", "pool",
+        "next_cid", "live_mb", "peak_live_mb", "cold", "evictions",
+        "rejections", "ttl_expirations", "latencies", "heap", "seq", "arr_i",
+    )
+
+    def __init__(self, spec: LaneSpec) -> None:
+        method, decide_code, eviction_factory = LANE_SCHEDULERS[spec.scheduler]
+        self.table = spec.table
+        self.method = method
+        self.decide_code = decide_code
+        self.eviction = eviction_factory()
+        self.ttl_s = self.eviction.ttl_s
+        self.pool = WarmPool(spec.capacity_mb)
+        self.next_cid = 1           # mirrors lifecycle's itertools.count(1)
+        self.live_mb = 0.0
+        self.peak_live_mb = 0.0
+        self.cold = 0
+        self.evictions = 0
+        self.rejections = 0
+        self.ttl_expirations = 0
+        self.latencies = array("d")
+        # Completion heap: (time, seq, kind, container, exec_s).  All
+        # completions share event priority 1, so (time, seq) alone orders
+        # them exactly as the sequential queue does; seq starts past the
+        # arrival count purely to mirror the batch loader's numbering.
+        self.heap: List[Tuple[float, int, int, Container, float]] = []
+        self.seq = self.table.n
+        self.arr_i = 0
+
+    # -- event handling ------------------------------------------------------
+    def _sweep(self, now: float) -> None:
+        """Expire pooled containers idle past the TTL (per-pop sweep)."""
+        expired = self.pool.expire_older_than(now - self.ttl_s)
+        if expired:
+            self.ttl_expirations += len(expired)
+            live = self.live_mb
+            for container in expired:
+                live = max(0.0, live - container.image.memory_mb)
+            self.live_mb = live
+
+    def _keep_alive(self, container: Container, now: float) -> None:
+        """Pool a finished container through the eviction policy."""
+        victims = self.eviction.select_victims(self.pool, container, now)
+        if victims is None:
+            self.rejections += 1
+            self.live_mb = max(
+                0.0, self.live_mb - container.image.memory_mb
+            )
+            return
+        if victims:
+            self.evictions += len(victims)
+            pool_remove = self.pool.remove
+            for victim in victims:
+                pool_remove(victim.container_id)
+                self.live_mb = max(
+                    0.0, self.live_mb - victim.image.memory_mb
+                )
+        self.pool.add(container)
+
+    def drain_until(self, t: float) -> None:
+        """Handle every completion strictly before ``t`` (the next arrival).
+
+        Same-time completions yield to the arrival (arrivals carry event
+        priority 0); each pop runs the TTL sweep at its own time before
+        handling, mirroring ``EventLoop.pop_next``.
+        """
+        heap = self.heap
+        ttl_active = self.ttl_s is not None
+        while heap and heap[0][0] < t:
+            time, _seq, kind, container, exec_s = heapq.heappop(heap)
+            if ttl_active and len(self.pool):
+                self._sweep(time)
+            if kind == _STARTUP_DONE:
+                heapq.heappush(
+                    heap,
+                    (time + exec_s, self.seq, _EXECUTION_DONE, container, 0.0),
+                )
+                self.seq += 1
+            else:
+                container.state = ContainerState.IDLE
+                container.last_used_at = time
+                self._keep_alive(container, time)
+
+    def drain_all(self) -> None:
+        """Run out every in-flight completion (the ``finish()`` drain)."""
+        self.drain_until(float("inf"))
+
+    # -- decision + application ---------------------------------------------
+    def score(self, t: float) -> Tuple[Optional[Container], int]:
+        """Decide the pending arrival: ``(warm container or None, match)``.
+
+        Runs the per-pop TTL sweep at the arrival's time first (the
+        sequential loop sweeps on the arrival pop before the scheduler
+        sees the context), then resolves the decision through the pool's
+        match index exactly as the scheduler's ``decide`` would.
+        """
+        if self.ttl_s is not None and len(self.pool):
+            self._sweep(t)
+        code = self.decide_code
+        if code == _DECIDE_COLD:
+            return None, 0
+        image = self.table.specs[self.table.fn_ix[self.arr_i]].image
+        if code == _DECIDE_EXACT:
+            container = self.pool.best_exact(image)
+            if container is None:
+                return None, 0
+            return container, int(MatchLevel.L3)
+        container, level = self.pool.best_match(image)
+        if container is None:
+            return None, 0
+        return container, int(level)
+
+    def apply(
+        self, t: float, container: Optional[Container], match: int
+    ) -> None:
+        """Execute the scored decision for the pending arrival."""
+        table = self.table
+        i = self.arr_i
+        fn = table.fn_ix[i]
+        spec = table.specs[fn]
+        if container is None:
+            container = Container(
+                container_id=self.next_cid, image=spec.image,
+                created_at=t, last_used_at=0.0,
+            )
+            self.next_cid += 1
+            self.live_mb += spec.image.memory_mb
+            self.cold += 1
+        else:
+            self.pool.remove(container.container_id)
+            container.state = ContainerState.STARTING
+            # Repack: the image swap adjusts live memory exactly as
+            # ``ContainerLifecycle.repack`` does (new minus old).
+            old_mb = container.image.memory_mb
+            container.image = spec.image
+            self.live_mb += spec.image.memory_mb - old_mb
+        if self.live_mb > self.peak_live_mb:
+            self.peak_live_mb = self.live_mb
+        latency = table.latency[fn][match]
+        self.latencies.append(latency)
+        container.last_used_at = t   # begin_startup stamps the claim time
+        heapq.heappush(
+            self.heap,
+            (t + latency, self.seq, _STARTUP_DONE, container,
+             float(table.exec_s[i])),
+        )
+        self.seq += 1
+        self.arr_i = i + 1
+
+    # -- results -------------------------------------------------------------
+    def summary(self) -> Dict[str, float]:
+        """The cell summary, key-for-key and bit-for-bit equal to
+        :meth:`repro.cluster.telemetry.Telemetry.summary` of the equivalent
+        sequential run (same accumulation order, same numpy percentile
+        calls, warm-pool peak read off the pool's own tracking)."""
+        latencies = self.latencies
+        n = len(latencies)
+        total = float(sum(latencies))
+        lat = np.array(latencies, dtype=np.float64)
+        return {
+            "invocations": float(n),
+            "total_startup_s": total,
+            "mean_startup_s": total / n if n else 0.0,
+            "p50_startup_s": float(np.median(lat)) if n else 0.0,
+            "p95_startup_s": float(np.percentile(lat, 95)) if n else 0.0,
+            "cold_starts": float(self.cold),
+            "warm_starts": float(n - self.cold),
+            "evictions": float(self.evictions),
+            "keep_alive_rejections": float(self.rejections),
+            "ttl_expirations": float(self.ttl_expirations),
+            "peak_warm_memory_mb": self.pool.peak_used_mb,
+            "peak_live_memory_mb": self.peak_live_mb,
+            "container_crashes": 0.0,
+            "stragglers": 0.0,
+        }
+
+
+class LaneKernel:
+    """Advance many independent simulation lanes per step.
+
+    Parameters
+    ----------
+    specs:
+        One :class:`LaneSpec` per lane.  Lanes replaying the same workload
+        draw should share one :class:`ArrivalTable` instance (the grid
+        runner's per-process table cache arranges this).
+    """
+
+    def __init__(self, specs: Sequence[LaneSpec]) -> None:
+        for spec in specs:
+            if spec.scheduler not in LANE_SCHEDULERS:
+                raise KeyError(
+                    f"scheduler {spec.scheduler!r} has no lane fast path; "
+                    f"supported: {sorted(LANE_SCHEDULERS)}"
+                )
+        self.lanes = [_Lane(spec) for spec in specs]
+
+    def _score_batch(
+        self, lanes: List[_Lane], times: np.ndarray
+    ) -> List[Tuple[Optional[Container], int]]:
+        """Score one step's pending arrival across every active lane."""
+        return [lane.score(float(t)) for lane, t in zip(lanes, times)]
+
+    def run(self) -> List[LaneResult]:
+        """Run every lane to completion; results in lane order.
+
+        Lockstep stepping: step ``k`` drains each active lane to its
+        ``k``-th arrival, batch-scores the pending decisions against the
+        lanes' pool indexes, then applies them.  The arrival cursors and
+        active mask live in numpy arrays; lanes finishing early drop out of
+        the step without stalling the rest.
+        """
+        lanes = self.lanes
+        n_arr = np.fromiter(
+            (lane.table.n for lane in lanes), dtype=np.int64,
+            count=len(lanes),
+        )
+        cursors = np.zeros(len(lanes), dtype=np.int64)
+        active_ix = np.flatnonzero(cursors < n_arr)
+        while active_ix.size:
+            active = [lanes[i] for i in active_ix]
+            # Batched arrival ingestion: this step's arrival timestamps,
+            # gathered straight from the shared columnar tables.
+            times = np.fromiter(
+                (lane.table.times[lane.arr_i] for lane in active),
+                dtype=np.float64, count=len(active),
+            )
+            for lane, t in zip(active, times):
+                lane.drain_until(t)
+            decisions = self._score_batch(active, times)
+            for lane, t, (container, match) in zip(active, times, decisions):
+                lane.apply(float(t), container, match)
+            cursors[active_ix] += 1
+            active_ix = active_ix[cursors[active_ix] < n_arr[active_ix]]
+        for lane in lanes:
+            lane.drain_all()
+        return [
+            LaneResult(method=lane.method, summary=lane.summary())
+            for lane in lanes
+        ]

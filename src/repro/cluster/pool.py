@@ -228,6 +228,20 @@ class WarmPool:
             return max(bucket.values(), key=_mru_key), MatchLevel.L1
         return None, MatchLevel.NO_MATCH
 
+    def best_exact(self, image: FunctionImage) -> Optional[Container]:
+        """Most-recently-used exact (L3) match for ``image``, or None.
+
+        Equivalent to ``PoolSet.exact_matches(image)[0]`` on a single
+        shard -- the bucket max under ``(last_used_at, container_id)`` is
+        the head of the MRU-sorted candidate list -- without building or
+        sorting the list.  This is the lane kernel's fast path for the
+        LRU/KeepAlive decision rule.
+        """
+        bucket = self._idx_l3.get(image.fingerprints)
+        if not bucket:
+            return None
+        return max(bucket.values(), key=_mru_key)
+
     def expire_older_than(self, threshold: float) -> List[Container]:
         """Pop and return LRU-head containers with ``last_used_at < threshold``.
 

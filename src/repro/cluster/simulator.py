@@ -266,7 +266,22 @@ class ClusterSimulator:
             if ctx is None:
                 break
             self._apply(scheduler.decide(ctx), want_record=False)
+        self._fold_scheduler_counters(scheduler)
         return self.finish(scheduler_name=scheduler.name)
+
+    def _fold_scheduler_counters(self, scheduler: Scheduler) -> None:
+        """Copy a policy's surrogate-audit counters into telemetry.
+
+        Schedulers have no telemetry handle inside ``decide``, so policies
+        that serve from a distilled surrogate (see
+        ``MLCRScheduler.attach_surrogate``) count audits locally; the run
+        drivers fold the totals in here once the decision loop ends.
+        """
+        audits = getattr(scheduler, "surrogate_audits", 0)
+        if audits:
+            self.telemetry.record_surrogate_audit(
+                audits, getattr(scheduler, "surrogate_disagreements", 0)
+            )
 
     # ------------------------------------------------------------------
     # Streaming mode
@@ -290,6 +305,7 @@ class ClusterSimulator:
             if ctx is None:
                 break
             self._apply(scheduler.decide(ctx), want_record=False)
+        self._fold_scheduler_counters(scheduler)
         return self.finish(scheduler_name=scheduler.name)
 
     def load_stream(self, stream: Iterable[Invocation]) -> None:

@@ -153,6 +153,10 @@ class Telemetry:
         self.max_queue_depth = 0
         self.worker_busy_s: Dict[int, float] = {}
         self.duration_s = 0.0
+        # Distilled-policy audit counters (folded in from the scheduler by
+        # the simulator after a run; see MLCRScheduler.attach_surrogate).
+        self.surrogate_audits = 0
+        self.surrogate_disagreements = 0
         # Per-invocation columns (struct-of-arrays).
         self._inv_id = array("q")
         self._fn_ix = array("q")
@@ -274,6 +278,17 @@ class Telemetry:
     def record_ttl_expiration(self, n: int = 1) -> None:
         """Count TTL expiration(s) of idle containers."""
         self.ttl_expirations += n
+
+    def record_surrogate_audit(self, audits: int, disagreements: int) -> None:
+        """Fold in a run's distilled-policy audit totals.
+
+        ``audits`` decisions were double-checked against the full network;
+        ``disagreements`` of them differed (the surrogate's choice still
+        served).  Non-zero audits unlock the surrogate block of
+        :meth:`summary`, making distillation drift visible in reports.
+        """
+        self.surrogate_audits += audits
+        self.surrogate_disagreements += disagreements
 
     def record_event(
         self,
@@ -574,7 +589,16 @@ class Telemetry:
         }
         if self.queueing_enabled:
             base.update(self.queueing_summary())
+        if self.surrogate_audits:
+            base.update(self.surrogate_summary())
         return base
+
+    def surrogate_summary(self) -> Dict[str, float]:
+        """Distilled-policy audit block (present only when audits ran)."""
+        return {
+            "surrogate_audits": float(self.surrogate_audits),
+            "surrogate_disagreements": float(self.surrogate_disagreements),
+        }
 
 
 class BoundedTelemetry(Telemetry):
@@ -735,6 +759,8 @@ QuantileSketch` sketches for the latency/queueing percentiles, so memory
         }
         if self.queueing_enabled:
             base.update(self.queueing_summary())
+        if self.surrogate_audits:
+            base.update(self.surrogate_summary())
         return base
 
     # -- row views: structurally unavailable ---------------------------------

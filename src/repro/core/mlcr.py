@@ -75,22 +75,70 @@ class MLCRScheduler(Scheduler):
         self.encoder = encoder
         self.use_mask = use_mask
         self.decisions_made = 0
+        # Distilled fast path (attach_surrogate); counters feed telemetry.
+        self.surrogate = None
+        self.surrogate_audit_every = 0
+        self.surrogate_fallbacks = 0
+        self.surrogate_audits = 0
+        self.surrogate_disagreements = 0
 
     @staticmethod
     def make_eviction_policy() -> LRUEviction:
         """MLCR pairs with LRU eviction (paper Section III)."""
         return LRUEviction()
 
+    def attach_surrogate(self, surrogate, audit_every: int = 64) -> None:
+        """Serve decisions from a distilled surrogate instead of the network.
+
+        ``surrogate`` is a :class:`~repro.drl.distill.TreeSurrogate` (or
+        anything with its ``act(state, mask)`` contract).  Decisions whose
+        prediction the live action mask forbids fall back to the full
+        network (counted in ``surrogate_fallbacks``).  Every
+        ``audit_every``-th surrogate decision is additionally checked
+        against the network's greedy action; mismatches increment
+        ``surrogate_disagreements`` (the drift signal telemetry surfaces)
+        while the surrogate's choice still stands, keeping the audit
+        observational.  ``audit_every=0`` disables auditing;
+        ``audit_every=1`` audits every decision.
+        """
+        if audit_every < 0:
+            raise ValueError("audit_every must be >= 0")
+        self.surrogate = surrogate
+        self.surrogate_audit_every = audit_every
+
+    def detach_surrogate(self) -> None:
+        """Return to full-network decisions."""
+        self.surrogate = None
+
     def reset(self) -> None:
-        """Clear per-run state."""
+        """Clear per-run state (the attached surrogate survives)."""
         self.encoder.reset()
         self.decisions_made = 0
+        self.surrogate_fallbacks = 0
+        self.surrogate_audits = 0
+        self.surrogate_disagreements = 0
+
+    def act_surrogate(self, state: np.ndarray, mask: np.ndarray) -> int:
+        """Surrogate action with mask-invalid fallback and periodic audit."""
+        action = self.surrogate.act(state, mask)
+        if action is None:
+            self.surrogate_fallbacks += 1
+            return self.agent.act(state, mask, epsilon=0.0)
+        every = self.surrogate_audit_every
+        if every and self.decisions_made % every == 0:
+            self.surrogate_audits += 1
+            if action != self.agent.act(state, mask, epsilon=0.0):
+                self.surrogate_disagreements += 1
+        return action
 
     def decide(self, ctx: SchedulingContext) -> Decision:
         """Choose a warm container (or cold start) for ``ctx.invocation``."""
         encoded = self.encoder.encode(ctx)
         mask = encoded.mask if self.use_mask else np.ones_like(encoded.mask)
-        action = self.agent.act(encoded.state, mask, epsilon=0.0)
+        if self.surrogate is not None:
+            action = self.act_surrogate(encoded.state, mask)
+        else:
+            action = self.agent.act(encoded.state, mask, epsilon=0.0)
         self.decisions_made += 1
         return encoded.decision_for(action)
 

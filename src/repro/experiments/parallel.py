@@ -39,6 +39,12 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.report import ascii_table
+from repro.cluster.lanes import (
+    ArrivalTable,
+    LaneKernel,
+    LaneSpec,
+    lane_supported_scheduler,
+)
 from repro.experiments.cache import ExperimentCache, pool_sizes_cached
 from repro.experiments.common import (
     ExperimentScale,
@@ -141,6 +147,36 @@ def cached_workload(name: str, seed: int) -> Workload:
 def clear_workload_cache() -> None:
     """Drop the process-local workload memo (used by tests)."""
     _WORKLOAD_CACHE.clear()
+    _ARRIVAL_TABLE_CACHE.clear()
+
+
+#: Per-process columnar lowering memo keyed by ``(name, seed)``: every lane
+#: replaying the same workload draw shares one read-only
+#: :class:`~repro.cluster.lanes.ArrivalTable`.
+_ARRIVAL_TABLE_CACHE: Dict[Tuple[str, int], ArrivalTable] = {}
+
+
+def cached_arrival_table(name: str, seed: int) -> ArrivalTable:
+    """Columnar lowering of one workload draw (process-memoized)."""
+    key = (name, seed)
+    table = _ARRIVAL_TABLE_CACHE.get(key)
+    if table is None:
+        table = _ARRIVAL_TABLE_CACHE[key] = ArrivalTable(
+            cached_workload(name, seed)
+        )
+    return table
+
+
+def lane_supported(task: GridTask) -> bool:
+    """Whether ``task`` can run on the lane kernel.
+
+    Grid cells all use the default single-shard, no-concurrency-limit
+    simulator configuration, so support hinges only on the scheduler having
+    a lane fast path.  The ``stream`` flag is irrelevant: batch and stream
+    summaries are identical by the ``streaming_vs_materialized`` oracle's
+    guarantee, and the lane kernel reproduces both.
+    """
+    return lane_supported_scheduler(task.scheduler)
 
 
 def run_task(task: GridTask) -> GridCell:
@@ -181,6 +217,30 @@ def _run_task_packed(task: GridTask) -> PackedCell:
     return pack_cell(run_task(task))
 
 
+def _run_lane_batch_packed(tasks: Tuple[GridTask, ...]) -> List[PackedCell]:
+    """Worker entry point: run a batch of cells on one lane kernel.
+
+    Each task becomes one lane; tasks sharing a workload draw share one
+    process-memoized :class:`~repro.cluster.lanes.ArrivalTable`.  Results
+    come back in task order as the same columnar IPC blocks the sequential
+    worker ships, so downstream unpacking cannot tell the paths apart.
+    """
+    specs = [
+        LaneSpec(
+            scheduler=task.scheduler,
+            table=cached_arrival_table(task.workload, task.seed),
+            capacity_mb=task.capacity_mb,
+        )
+        for task in tasks
+    ]
+    results = LaneKernel(specs).run()
+    return [
+        (res.method, tuple(res.summary.keys()),
+         array("d", res.summary.values()))
+        for res in results
+    ]
+
+
 def _pool_context():
     """Pick a multiprocessing start method (fork where available)."""
     try:
@@ -193,6 +253,7 @@ def run_grid(
     tasks: Sequence[GridTask],
     jobs: int = 1,
     cache: Optional[ExperimentCache] = None,
+    lanes: int = 1,
 ) -> List[GridCell]:
     """Run every task, fanning across ``jobs`` worker processes.
 
@@ -206,6 +267,14 @@ def run_grid(
     so a warm cache re-runs nothing.  Cached and fresh cells are
     bit-identical -- the ``cached_vs_fresh`` differential oracle enforces
     this.
+
+    With ``lanes > 1``, cache-missed cells whose scheduler has a lane fast
+    path (:func:`lane_supported`) run in batches of ``lanes`` on the
+    :class:`~repro.cluster.lanes.LaneKernel` -- many cells per process
+    step instead of one full simulator per cell.  Lane cells are
+    byte-identical to sequential ones (the ``lanes_vs_sequential`` oracle
+    and hypothesis suite enforce this); unsupported schedulers silently
+    take the sequential path, so any grid accepts any ``lanes`` value.
     """
     tasks = list(tasks)
     cells: List[Optional[GridCell]] = [None] * len(tasks)
@@ -221,15 +290,36 @@ def run_grid(
     else:
         misses = list(range(len(tasks)))
     if misses:
+        if lanes > 1:
+            laned = [i for i in misses if lane_supported(tasks[i])]
+            solo = [i for i in misses if not lane_supported(tasks[i])]
+        else:
+            laned, solo = [], list(misses)
+        batches = [
+            tuple(laned[j:j + lanes]) for j in range(0, len(laned), lanes)
+        ]
         if jobs <= 1 or len(misses) <= 1:
-            packed = [_run_task_packed(tasks[i]) for i in misses]
+            packed = [_run_task_packed(tasks[i]) for i in solo]
+            batch_packed = [
+                _run_lane_batch_packed(tuple(tasks[i] for i in batch))
+                for batch in batches
+            ]
         else:
             ctx = _pool_context()
             with ctx.Pool(processes=min(jobs, len(misses))) as pool:
                 packed = pool.map(
-                    _run_task_packed, [tasks[i] for i in misses]
+                    _run_task_packed, [tasks[i] for i in solo]
                 )
-        for i, block in zip(misses, packed):
+                batch_packed = pool.map(
+                    _run_lane_batch_packed,
+                    [tuple(tasks[i] for i in batch) for batch in batches],
+                )
+        filled = list(zip(solo, packed)) + [
+            (i, block)
+            for batch, blocks in zip(batches, batch_packed)
+            for i, block in zip(batch, blocks)
+        ]
+        for i, block in filled:
             cell = unpack_cell(tasks[i], block)
             cells[i] = cell
             if use_cache:
@@ -332,16 +422,20 @@ def run_default_grid(
     scale: Optional[ExperimentScale] = None,
     jobs: int = 1,
     cache: Optional[ExperimentCache] = None,
+    lanes: int = 1,
     **grid_kwargs,
 ) -> GridResult:
     """Build :func:`default_grid` and run it with ``jobs`` workers.
 
     ``cache`` (optional) serves both the pool sizing and the grid cells
     content-addressed; the rendered report is byte-identical with the
-    cache on, off, cold or warm.
+    cache on, off, cold or warm.  ``lanes > 1`` runs supported cells in
+    lane-kernel batches (see :func:`run_grid`).
     """
     tasks = default_grid(scale, cache=cache, **grid_kwargs)
-    return GridResult(cells=run_grid(tasks, jobs=jobs, cache=cache))
+    return GridResult(
+        cells=run_grid(tasks, jobs=jobs, cache=cache, lanes=lanes)
+    )
 
 
 def report(result: GridResult) -> str:

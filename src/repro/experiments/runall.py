@@ -3,14 +3,16 @@
 Used to regenerate the data section of EXPERIMENTS.md::
 
     python -m repro.experiments.runall [output.md] [--figures DIR]
-        [--jobs N] [--no-cache] [--profile]
+        [--jobs N] [--lanes L] [--no-cache] [--profile]
         [--stream-functions N] [--stream-invocations N]
 
 Honors ``REPRO_SCALE``.  The MLCR training cache is shared across
 experiments, so fig8/fig9/fig10 train each pool size once.  With
 ``--figures`` the fig8/9/10/11 results are additionally rendered as SVG
 files into the given directory.  ``--jobs N`` fans the baseline grid
-section over N worker processes (its report text is identical for any N).
+section over N worker processes and ``--lanes L`` batches its
+lane-supported cells L per process onto the lane kernel (the report text
+is identical for any N and L).
 
 Section bodies are deterministic (no timestamps; every seed fixed), so
 each is additionally served from the content-addressed experiment cache
@@ -58,7 +60,7 @@ from repro.experiments.common import ExperimentScale
 
 def _experiments(
     scale: ExperimentScale, collected: dict, jobs: int = 1,
-    cache: Optional[ExperimentCache] = None,
+    cache: Optional[ExperimentCache] = None, lanes: int = 1,
 ) -> List[Tuple[str, str, Callable[[], str]]]:
     def keep(key: str, result):
         collected[key] = result
@@ -100,8 +102,8 @@ def _experiments(
         ("queueing", "Extension - worker concurrency & queueing",
          lambda: queueing.report(queueing.run(scale))),
         ("grid", "Baseline grid (parallel runner)",
-         lambda: parallel.run_default_grid(scale, jobs=jobs,
-                                           cache=cache).report()),
+         lambda: parallel.run_default_grid(scale, jobs=jobs, cache=cache,
+                                           lanes=lanes).report()),
         ("stream", "Extension - streaming Azure-like replay",
          lambda: ext_stream_replay.report(
              ext_stream_replay.run(scale, jobs=jobs))),
@@ -114,11 +116,12 @@ def run_all(
     figures_dir: Path | None = None,
     jobs: int = 1,
     cache: Optional[ExperimentCache] = None,
+    lanes: int = 1,
 ) -> str:
     """Run every experiment; returns (and optionally writes) the report.
 
-    ``jobs`` only parallelizes the grid section; its report text does not
-    depend on the worker count.  With ``cache`` given, section bodies are
+    ``jobs`` only parallelizes the grid section and ``lanes`` only batches
+    its lane-supported cells; the report text does not depend on either.  With ``cache`` given, section bodies are
     served content-addressed (except when ``figures_dir`` is set, which
     needs the in-memory results); a warm cache turns the whole run into
     file reads.
@@ -136,7 +139,8 @@ def run_all(
         f"scale: repeats={scale.repeats}, "
         f"train_episodes={scale.train_episodes}, restarts={scale.restarts}",
     ]
-    for key, title, runner in _experiments(scale, collected, jobs, cache):
+    for key, title, runner in _experiments(scale, collected, jobs, cache,
+                                            lanes):
         start = time.time()
         cached_body = (
             cache.get_section(key, scale_fields)
@@ -176,10 +180,11 @@ def run_all(
 
 def _parse_args(
     argv: List[str],
-) -> Tuple[Path | None, Path | None, int, bool, bool, dict]:
+) -> Tuple[Path | None, Path | None, int, int, bool, bool, dict]:
     output: Path | None = None
     figures: Path | None = None
     jobs = 1
+    lanes = 1
     no_cache = False
     profile = False
     scale_overrides: dict = {}
@@ -194,6 +199,10 @@ def _parse_args(
             if not rest:
                 raise SystemExit("--jobs needs a worker count")
             jobs = int(rest.pop(0))
+        elif arg == "--lanes":
+            if not rest:
+                raise SystemExit("--lanes needs a lane count")
+            lanes = int(rest.pop(0))
         elif arg == "--stream-functions":
             if not rest:
                 raise SystemExit("--stream-functions needs a count")
@@ -208,11 +217,12 @@ def _parse_args(
             profile = True
         else:
             output = Path(arg)
-    return output, figures, jobs, no_cache, profile, scale_overrides
+    return output, figures, jobs, lanes, no_cache, profile, scale_overrides
 
 
 if __name__ == "__main__":  # pragma: no cover - CLI convenience
-    out, figs, n_jobs, no_cache, profile, overrides = _parse_args(sys.argv[1:])
+    (out, figs, n_jobs, n_lanes, no_cache, profile,
+     overrides) = _parse_args(sys.argv[1:])
     run_cache = ExperimentCache(enabled=False if no_cache else None)
     run_scale = ExperimentScale.from_env()
     if overrides:
@@ -220,7 +230,7 @@ if __name__ == "__main__":  # pragma: no cover - CLI convenience
 
     def _main() -> str:
         return run_all(out, scale=run_scale, figures_dir=figs, jobs=n_jobs,
-                       cache=run_cache)
+                       cache=run_cache, lanes=n_lanes)
 
     if profile:
         from repro.profiling import profile_call

@@ -44,6 +44,7 @@ from repro.cluster.simulator import (
 )
 from repro.cluster.telemetry import InvocationRecord
 from repro.experiments.parallel import build_scheduler
+from repro.schedulers.base import Scheduler
 from repro.workloads.functions import (
     FunctionSpec,
     function_by_id,
@@ -109,7 +110,12 @@ class ServeEngine:
     scheduler:
         Registry key into
         :data:`repro.experiments.parallel.SCHEDULER_FACTORIES` (keys are a
-        stable wire format, so recordings can rebuild the scheduler).
+        stable wire format, so recordings can rebuild the scheduler), or a
+        ready :class:`~repro.schedulers.base.Scheduler` instance -- the
+        path that puts a trained MLCR policy (optionally serving from a
+        distilled surrogate) behind ``/invoke``.  Instances cannot be
+        combined with a recorder: replay rebuilds schedulers from registry
+        keys, which an ad-hoc instance does not have.
     wall:
         The wall :class:`~repro.cluster.eventloop.TimeSource` used to stamp
         arrivals; defaults to a fresh
@@ -130,14 +136,24 @@ class ServeEngine:
     def __init__(
         self,
         config: SimulationConfig,
-        scheduler: str = "lru",
+        scheduler: Union[str, "Scheduler"] = "lru",
         *,
         wall: Optional[TimeSource] = None,
         keepalive_ttl_s: Optional[float] = None,
         recorder=None,
     ) -> None:
-        self.scheduler_key = scheduler
-        self.scheduler = build_scheduler(scheduler)
+        if isinstance(scheduler, str):
+            self.scheduler_key = scheduler
+            self.scheduler = build_scheduler(scheduler)
+        else:
+            if recorder is not None:
+                raise ValueError(
+                    "a scheduler instance cannot be recorded: replay "
+                    "rebuilds schedulers from registry keys; pass a key "
+                    "or drop the recorder"
+                )
+            self.scheduler = scheduler
+            self.scheduler_key = getattr(scheduler, "name", "custom")
         eviction = (
             self.scheduler.make_eviction_policy()
             if hasattr(self.scheduler, "make_eviction_policy")
@@ -245,6 +261,7 @@ class ServeEngine:
         if self._closed:
             raise ServeClosed("engine already drained")
         self._closed = True
+        self.sim._fold_scheduler_counters(self.scheduler)
         result = self.sim.finish(scheduler_name=self.scheduler_key)
         if self.recorder is not None:
             self.recorder.close()
@@ -297,6 +314,12 @@ class ServeEngine:
             "live_containers": self.live_containers,
             "pooled_containers": self.pooled_containers,
         }
+        if getattr(self.scheduler, "surrogate", None) is not None:
+            report["surrogate"] = {
+                "fallbacks": self.scheduler.surrogate_fallbacks,
+                "audits": self.scheduler.surrogate_audits,
+                "disagreements": self.scheduler.surrogate_disagreements,
+            }
         if self.sim.verifier is not None:
             report.update(self.sim.verifier.health_report())
         return report

@@ -38,6 +38,13 @@ serve_replay               a recorded ``repro.serve`` session (wall-
                            requests, a scheduler hot-swap) replayed
                            through a fresh engine makes byte-identical
                            decisions
+lanes_vs_sequential        ``run_grid(lanes=8)`` lane-kernel cells ==
+                           sequential cells for every lane-supported
+                           scheduler (byte-identical summaries)
+surrogate_vs_network       the distilled decision tree reproduces >= 99%
+                           of the network's greedy actions on the
+                           distillation trajectory, and mask-invalid
+                           predictions fall back to the network
 =========================  ==============================================
 
 Runnable as the ``tests/test_verify_differential.py`` pytest suite and as
@@ -566,6 +573,117 @@ def oracle_serve_replay() -> OracleResult:
     )
 
 
+def oracle_lanes_vs_sequential() -> OracleResult:
+    """Lane-kernel grid cells are byte-identical to sequential ones.
+
+    Runs every lane-supported scheduler over two workload draws and two
+    pool capacities, once through the per-cell sequential simulator and
+    once through ``run_grid(lanes=8)``, comparing summaries with ``==``
+    (bit equality, not tolerance) -- the lane kernel's whole contract.
+    """
+    from repro.cluster.lanes import LANE_SCHEDULERS
+
+    name = "lanes_vs_sequential"
+    tasks = [
+        GridTask(scheduler=key, workload=workload, seed=seed,
+                 pool_label="Fixed", capacity_mb=capacity)
+        for key in LANE_SCHEDULERS
+        for workload, seed in (("LO-Sim", 0), ("HI-Var", 1))
+        for capacity in (800.0, 4000.0)
+    ]
+    sequential = run_grid(tasks, jobs=1)
+    laned = run_grid(tasks, jobs=1, lanes=8)
+    for i, (a, b) in enumerate(zip(sequential, laned)):
+        if a.method != b.method:
+            return OracleResult(
+                name, False, f"cell {i} method: {a.method} vs {b.method}"
+            )
+        if list(a.summary.items()) != list(b.summary.items()):
+            diff = [k for k in a.summary if a.summary[k] != b.summary.get(k)]
+            return OracleResult(
+                name, False,
+                f"cell {i} ({tasks[i].scheduler}/{tasks[i].workload}) "
+                f"summaries differ at {diff}",
+            )
+    return OracleResult(
+        name, True, f"{len(tasks)} cells byte-identical at 8 lanes"
+    )
+
+
+def oracle_surrogate_vs_network() -> OracleResult:
+    """The distilled tree matches the network's greedy policy >= 99 %.
+
+    Trains a tiny MLCR policy, distills it over its own trajectory
+    (:func:`~repro.drl.distill.distill_scheduler`), and checks: (a) the
+    in-sample agreement bound, (b) that a simulated run with the surrogate
+    attached (auditing every decision) stays within the same disagreement
+    budget and folds the audit counters into the telemetry summary, and
+    (c) that a mask forbidding the tree's prediction triggers the
+    network-fallback path instead of an invalid action.
+    """
+    from repro.drl.distill import distill_scheduler
+
+    name = "surrogate_vs_network"
+    threshold = 0.99
+    scheduler, _ = train_mlcr_scheduler(
+        workload_factory=lambda ep: tiny_workload(seed=ep % 3),
+        sim_config=SimulationConfig(pool_capacity_mb=10_000.0),
+        config=tiny_mlcr_config(),
+    )
+    workloads = [tiny_workload(seed=s, n=24) for s in range(3)]
+    surrogate, report = distill_scheduler(scheduler, workloads, 10_000.0)
+    if report.agreement < threshold:
+        return OracleResult(
+            name, False,
+            f"in-sample agreement {report.agreement:.3f} < {threshold} "
+            f"({report.n_states} states, {report.n_nodes} nodes)",
+        )
+
+    # (b) Live run with every decision audited against the network.
+    scheduler.attach_surrogate(surrogate, audit_every=1)
+    scheduler.reset()
+    sim = ClusterSimulator(SimulationConfig(pool_capacity_mb=10_000.0),
+                           scheduler.make_eviction_policy())
+    result = sim.run(tiny_workload(seed=0, n=24), scheduler)
+    audits = scheduler.surrogate_audits
+    disagreements = scheduler.surrogate_disagreements
+    if audits == 0:
+        return OracleResult(name, False, "no decisions were audited")
+    if disagreements > (1.0 - threshold) * audits + 1:
+        return OracleResult(
+            name, False,
+            f"live disagreements {disagreements}/{audits} exceed budget",
+        )
+    summary = result.summary()
+    if summary.get("surrogate_audits") != float(audits):
+        return OracleResult(
+            name, False, "audit counters missing from telemetry summary"
+        )
+
+    # (c) Graceful fallback: forbid the tree's prediction via the mask.
+    state0 = np.zeros(surrogate.state_dim)
+    predicted = surrogate.predict(state0)
+    mask = np.ones(scheduler.agent.action_dim, dtype=bool)
+    mask[predicted] = False
+    if surrogate.act(state0, mask) is not None:
+        return OracleResult(
+            name, False, "mask-invalid prediction did not signal fallback"
+        )
+    before = scheduler.surrogate_fallbacks
+    action = scheduler.act_surrogate(state0, mask)
+    if scheduler.surrogate_fallbacks != before + 1 or not mask[action]:
+        return OracleResult(
+            name, False, "scheduler fallback did not route to the network"
+        )
+    scheduler.detach_surrogate()
+    return OracleResult(
+        name, True,
+        f"agreement {report.agreement:.3f} over {report.n_states} states "
+        f"({report.n_nodes} nodes); live audit {disagreements}/{audits} "
+        "disagreements; fallback ok",
+    )
+
+
 #: Registry of every differential oracle, in documentation order.
 ORACLES: Dict[str, Callable[[], OracleResult]] = {
     "batch_vs_incremental": oracle_batch_vs_incremental,
@@ -577,6 +695,8 @@ ORACLES: Dict[str, Callable[[], OracleResult]] = {
     "cached_vs_fresh": oracle_cached_vs_fresh,
     "streaming_vs_materialized": oracle_streaming_vs_materialized,
     "serve_replay": oracle_serve_replay,
+    "lanes_vs_sequential": oracle_lanes_vs_sequential,
+    "surrogate_vs_network": oracle_surrogate_vs_network,
 }
 
 

@@ -1,0 +1,156 @@
+"""Lane-kernel parity: batched lanes must be byte-identical to sequential.
+
+Pinned properties:
+
+* Every lane summary equals the sequential ``run_task`` summary for the
+  same ``(scheduler, workload, seed, capacity)`` cell -- exact ``==`` on
+  every float, not approx (property-based over the full lane registry,
+  arbitrary seeds, capacities including the 0/inf edges, and arbitrary
+  lane counts).
+* ``run_grid(lanes=L)`` reproduces ``run_grid()`` cell-for-cell for any
+  ``L``, including grids that mix lane-supported and sequential-only
+  schedulers, and under process fan-out (``jobs > 1``).
+* ``ArrivalTable`` is a faithful columnar lowering of the workload it was
+  built from.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.lanes import (
+    LANE_SCHEDULERS,
+    ArrivalTable,
+    LaneKernel,
+    LaneSpec,
+    lane_supported_scheduler,
+)
+from repro.experiments.parallel import (
+    GridTask,
+    cached_arrival_table,
+    cached_workload,
+    lane_supported,
+    run_grid,
+    run_task,
+)
+
+LANE_KEYS = sorted(LANE_SCHEDULERS)
+WORKLOADS = ("LO-Sim", "HI-Var")
+CAPACITIES = (0.0, 300.0, 800.0, 4000.0, float("inf"))
+
+
+def make_task(scheduler="lru", workload="LO-Sim", seed=0, capacity=800.0):
+    return GridTask(scheduler=scheduler, workload=workload, seed=seed,
+                    pool_label="Lane", capacity_mb=float(capacity))
+
+
+def lane_summary(task):
+    """Run one cell on a single-lane kernel and return its summary."""
+    table = cached_arrival_table(task.workload, task.seed)
+    spec = LaneSpec(scheduler=task.scheduler, table=table,
+                    capacity_mb=task.capacity_mb)
+    [result] = LaneKernel([spec]).run()
+    return result
+
+
+class TestRegistry:
+    def test_lane_schedulers_supported(self):
+        for key in LANE_KEYS:
+            assert lane_supported_scheduler(key)
+        assert not lane_supported_scheduler("faascache")
+        assert not lane_supported_scheduler("nope")
+
+    def test_lane_supported_ignores_stream(self):
+        task = make_task("keepalive")
+        assert lane_supported(task)
+        assert not lane_supported(make_task("faascache"))
+
+
+class TestArrivalTable:
+    def test_columnar_lowering_matches_workload(self):
+        workload = cached_workload("LO-Sim", 0)
+        table = ArrivalTable(workload)
+        arrivals = sorted(workload.invocations, key=lambda i: i.arrival_time)
+        assert table.n == len(arrivals)
+        assert table.times.dtype == np.float64
+        np.testing.assert_array_equal(
+            table.times, [i.arrival_time for i in arrivals])
+        np.testing.assert_array_equal(
+            table.exec_s, [i.execution_time_s for i in arrivals])
+        for i, inv in enumerate(arrivals):
+            assert table.specs[table.fn_ix[i]] is inv.spec
+
+    def test_cache_returns_same_object(self):
+        assert cached_arrival_table("LO-Sim", 0) is cached_arrival_table(
+            "LO-Sim", 0)
+
+
+class TestLaneParity:
+    @pytest.mark.parametrize("scheduler", LANE_KEYS)
+    def test_single_lane_matches_sequential(self, scheduler):
+        task = make_task(scheduler)
+        sequential = run_task(task)
+        result = lane_summary(task)
+        assert result.method == sequential.method
+        assert list(result.summary.items()) == list(
+            sequential.summary.items())
+
+    @pytest.mark.parametrize("capacity", CAPACITIES)
+    def test_capacity_edges(self, capacity):
+        task = make_task("lru", capacity=capacity)
+        assert lane_summary(task).summary == run_task(task).summary
+
+    @settings(max_examples=12, deadline=None)
+    @given(
+        cells=st.lists(
+            st.tuples(
+                st.sampled_from(LANE_KEYS),
+                st.sampled_from(WORKLOADS),
+                st.integers(min_value=0, max_value=3),
+                st.sampled_from(CAPACITIES),
+            ),
+            min_size=1, max_size=6,
+        ),
+        lanes=st.integers(min_value=1, max_value=8),
+    )
+    def test_grid_parity_property(self, cells, lanes):
+        tasks = [make_task(*cell) for cell in cells]
+        sequential = run_grid(tasks, jobs=1)
+        laned = run_grid(tasks, jobs=1, lanes=lanes)
+        assert [c.task for c in laned] == [c.task for c in sequential]
+        for a, b in zip(laned, sequential):
+            assert a.method == b.method
+            assert list(a.summary.items()) == list(b.summary.items())
+
+
+class TestRunGridIntegration:
+    def test_mixed_supported_and_sequential(self):
+        tasks = [make_task("lru"), make_task("faascache"),
+                 make_task("greedy", seed=1), make_task("coldonly")]
+        sequential = run_grid(tasks, jobs=1)
+        laned = run_grid(tasks, jobs=1, lanes=3)
+        assert [c.summary for c in laned] == [c.summary for c in sequential]
+
+    def test_parallel_jobs_with_lanes(self):
+        tasks = [make_task(s, seed=seed)
+                 for seed in (0, 1) for s in ("lru", "keepalive", "greedy")]
+        sequential = run_grid(tasks, jobs=1)
+        fanned = run_grid(tasks, jobs=2, lanes=4)
+        assert [c.summary for c in fanned] == [c.summary for c in sequential]
+
+    def test_lane_batch_larger_than_grid(self):
+        tasks = [make_task("lru"), make_task("greedy")]
+        laned = run_grid(tasks, jobs=1, lanes=64)
+        assert [c.summary for c in laned] == [
+            c.summary for c in run_grid(tasks, jobs=1)]
+
+
+class TestKernelValidation:
+    def test_unsupported_scheduler_rejected(self):
+        table = cached_arrival_table("LO-Sim", 0)
+        spec = LaneSpec(scheduler="faascache", table=table, capacity_mb=800.0)
+        with pytest.raises(KeyError):
+            LaneKernel([spec])

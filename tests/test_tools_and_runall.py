@@ -55,28 +55,38 @@ class TestApiDocGenerator:
 
 class TestRunallArgs:
     def test_no_args(self):
-        assert _parse_args([]) == (None, None, 1, False, False, {})
+        assert _parse_args([]) == (None, None, 1, 1, False, False, {})
 
     def test_output_only(self):
-        out, figs, jobs, no_cache, profile, overrides = _parse_args(
+        out, figs, jobs, lanes, no_cache, profile, overrides = _parse_args(
             ["report.md"])
         assert out == Path("report.md") and figs is None and jobs == 1
-        assert not no_cache and not profile and overrides == {}
+        assert lanes == 1 and not no_cache and not profile
+        assert overrides == {}
 
     def test_figures_flag(self):
-        out, figs, jobs, _, _, _ = _parse_args(
+        out, figs, jobs, *_ = _parse_args(
             ["report.md", "--figures", "figs"])
         assert out == Path("report.md") and figs == Path("figs")
         assert jobs == 1
 
     def test_jobs_flag(self):
-        out, figs, jobs, _, _, _ = _parse_args(["--jobs", "4", "report.md"])
+        out, figs, jobs, *_ = _parse_args(["--jobs", "4", "report.md"])
         assert out == Path("report.md") and figs is None and jobs == 4
 
     def test_cache_and_profile_flags(self):
-        out, figs, jobs, no_cache, profile, _ = _parse_args(
+        out, figs, jobs, lanes, no_cache, profile, _ = _parse_args(
             ["--no-cache", "--profile", "report.md"])
         assert out == Path("report.md") and no_cache and profile
+
+    def test_lanes_flag(self):
+        _, _, jobs, lanes, *_ = _parse_args(
+            ["--jobs", "2", "--lanes", "8", "report.md"])
+        assert jobs == 2 and lanes == 8
+
+    def test_lanes_missing_value(self):
+        with pytest.raises(SystemExit):
+            _parse_args(["--lanes"])
 
     def test_stream_scale_overrides(self):
         *_, overrides = _parse_args(

@@ -8,6 +8,9 @@ Commands
     Run one scheduler over one workload at a chosen pool level.
 ``train``
     Train an MLCR policy and save it to a ``.npz`` file.
+``train-offline``
+    Fit the off-policy tabular Q-agent from recorded decision traces
+    (golden-trace or serve-recording JSONL) and save it to ``.npz``.
 ``distill``
     Distill a trained MLCR policy into a µs-scale decision-tree surrogate
     and save it next to the network checkpoint.
@@ -41,7 +44,7 @@ from repro.experiments.common import (
     pool_sizes,
 )
 from repro.experiments.parallel import (
-    BASELINE_KEYS,
+    GRID_KEYS,
     SCHEDULER_FACTORIES,
     GridTask,
     run_grid,
@@ -109,7 +112,7 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     capacity = pool_sizes_cached(
         args.workload, args.seed, cache
     )[args.pool.capitalize()]
-    keys = list(BASELINE_KEYS) if args.scheduler == "all" else [args.scheduler]
+    keys = list(GRID_KEYS) if args.scheduler == "all" else [args.scheduler]
     tasks = [
         GridTask(scheduler=key, workload=args.workload, seed=args.seed,
                  pool_label=args.pool.capitalize(), capacity_mb=capacity,
@@ -144,6 +147,21 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         title=(f"{args.workload} (seed {args.seed}), {args.pool} pool "
                f"= {capacity:.0f} MB"),
     ))
+    # Proactive-policy accounting blocks (only for cells that have them).
+    for cell in cells:
+        s = cell.summary
+        if s.get("prewarms_issued"):
+            hit = s["prewarm_reuses"] / s["prewarms_issued"]
+            print(f"{cell.method}: pre-warms "
+                  f"{int(s['prewarms_issued'])} issued, "
+                  f"{int(s['prewarm_reuses'])} reused, "
+                  f"{int(s['prewarm_wasted'])} wasted "
+                  f"(hit rate {hit:.1%})")
+        if s.get("lends_issued"):
+            hit = s["lend_reuses"] / s["lends_issued"]
+            print(f"{cell.method}: lends {int(s['lends_issued'])} issued, "
+                  f"{int(s['lend_reuses'])} reused by target "
+                  f"(hit rate {hit:.1%})")
     return 0
 
 
@@ -172,6 +190,46 @@ def cmd_train(args: argparse.Namespace) -> int:
     path = save_scheduler(scheduler, config, args.output)
     print(f"best validation latency: {history.best_eval_latency:.1f}s")
     print(f"saved policy to {path}")
+    return 0
+
+
+def cmd_train_offline(args: argparse.Namespace) -> int:
+    """``repro train-offline``: fit the tabular Q-agent from trace JSONL.
+
+    The sources are decision traces in either recorded dialect: golden
+    traces (``repro trace record`` / ``tests/golden_traces``) or serving
+    recordings (``repro serve --record``).  Fitting is order-independent
+    over the shards -- see :func:`repro.drl.offline.fit_from_traces`.
+    """
+    from repro.drl.offline import fit_from_traces
+
+    policy = fit_from_traces(
+        args.traces, gamma=args.gamma, iterations=args.iterations
+    )
+    if not policy.n_transitions:
+        print("no decision lines found in the given traces", file=sys.stderr)
+        return 1
+    path = policy.save(args.output)
+    print(f"fitted {len(policy.states)} states / "
+          f"{policy.n_transitions} transitions "
+          f"(gamma={policy.gamma}, {policy.iterations} sweeps)")
+    print(f"saved policy to {path}")
+    if args.evaluate:
+        from repro.experiments.cache import pool_sizes_cached
+        from repro.experiments.common import evaluate_scheduler
+        from repro.schedulers.offline import OfflineQScheduler
+
+        workload = build_workload(args.evaluate, seed=args.seed)
+        capacity = pool_sizes_cached(
+            args.evaluate, args.seed, None
+        )[args.pool.capitalize()]
+        outcome = evaluate_scheduler(
+            OfflineQScheduler(policy), workload, capacity,
+            pool_label=args.pool.capitalize(),
+        )
+        print(f"evaluation on {args.evaluate}@{args.pool}: "
+              f"total startup {outcome.total_startup_s:.1f}s, "
+              f"{outcome.cold_starts} cold starts")
     return 0
 
 
@@ -437,6 +495,25 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--output", default="mlcr_policy.npz")
     p.add_argument("--verbose", action="store_true")
     p.set_defaults(func=cmd_train)
+
+    p = sub.add_parser("train-offline",
+                       help="fit the off-policy Q-agent from trace JSONL")
+    p.add_argument("traces", nargs="+",
+                   help="decision-trace JSONL files (golden traces or "
+                        "serve recordings)")
+    p.add_argument("--gamma", type=float, default=0.95,
+                   help="discount factor")
+    p.add_argument("--iterations", type=int, default=50,
+                   help="value-iteration sweeps")
+    p.add_argument("--output", default="offline_q_policy.npz")
+    p.add_argument("--evaluate", default=None,
+                   choices=sorted(WORKLOAD_BUILDERS),
+                   help="additionally evaluate the fitted policy on a "
+                        "workload")
+    p.add_argument("--pool", default="tight",
+                   choices=["tight", "moderate", "loose"])
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_train_offline)
 
     p = sub.add_parser("distill",
                        help="distill a trained policy into a tree surrogate")

@@ -27,7 +27,7 @@ plane (driven by wall-clock timestamps) without change.
 from __future__ import annotations
 
 import itertools
-from typing import Dict, Optional
+from typing import Dict, Optional, Set
 
 from repro.cluster.eviction import EvictionPolicy
 from repro.cluster.faults import FaultConfig, FaultModel
@@ -72,6 +72,11 @@ class ContainerLifecycle:
         self._container_ids = itertools.count(1)
         self._live: Dict[int, Container] = {}
         self.live_memory_mb = 0.0
+        # Proactive-action bookkeeping: pre-warmed container ids awaiting
+        # their first claim (claimed -> reuse, destroyed -> waste) and lent
+        # container ids mapped to the function they were re-specialized for.
+        self._prewarmed: Set[int] = set()
+        self._lent: Dict[int, str] = {}
         # Lifetime counters backing the conservation invariant
         # (created == pooled + running + destroyed); two int increments per
         # container, cheap enough to maintain unconditionally.
@@ -145,6 +150,12 @@ class ContainerLifecycle:
         self.pool.remove(container_id)
         self.telemetry.sample_memory(now, self.pool.used_mb)
         container.claim()
+        if container.container_id in self._prewarmed:
+            self._prewarmed.discard(container.container_id)
+            self.telemetry.record_prewarm_reuse()
+        target = self._lent.pop(container.container_id, None)
+        if target is not None and target == invocation.spec.name:
+            self.telemetry.record_lend_reuse()
         return container
 
     def repack(
@@ -158,6 +169,76 @@ class ContainerLifecycle:
         result = self.cleaner.repack(container, target_image, function_name)
         self.live_memory_mb += container.memory_mb - old_memory
         return result
+
+    # -- proactive actions (pre-warm / lending) ------------------------------
+    def prewarm(
+        self, image: FunctionImage, function_name: str, now: float
+    ) -> Container:
+        """Create an idle container ahead of any arrival and pool it.
+
+        The pre-warm path reuses the cold-start machinery (placement,
+        volume mounts) but skips the startup latency accounting: nothing
+        invoked yet.  The container enters the warm pool through the
+        eviction policy like any finishing container, so a full pool can
+        reject (and immediately waste) the pre-warm.  Claims and destroys
+        of pre-warmed containers feed the reuse/waste counters.
+        """
+        container = self.create(image, function_name, now, idle=True)
+        self.telemetry.record_prewarm_issue()
+        self._prewarmed.add(container.container_id)
+        if self.telemetry.trace_enabled:
+            self.telemetry.record_event(
+                now, "prewarm", container.container_id, function_name
+            )
+        self.telemetry.sample_live_memory(self.live_memory_mb)
+        self.keep_alive(container, now)
+        return container
+
+    def lend(
+        self,
+        container_id: int,
+        target_image: FunctionImage,
+        function_name: str,
+        now: float,
+    ) -> bool:
+        """Re-specialize an idle pooled container toward another function.
+
+        Pagurus-style helping: the donor stays IDLE and stays pooled, but
+        its image is repacked toward ``target_image`` through the cleaner
+        (sharing every Table-I-compatible layer), so the target function's
+        next arrival finds an exact match.  Returns False (cluster
+        untouched) when the donor is gone, incompatible, or the repack
+        would not fit its pool shard; the idle clock resets on success so
+        LRU insertion order keeps implying idle-time order.
+        """
+        container = self.pool.get(container_id)
+        if container is None:
+            return False
+        if match_level(target_image, container.image) is MatchLevel.NO_MATCH:
+            return False
+        shard_index = (
+            self.placement.workers.worker_of(container_id)
+            if self.per_worker_pools
+            else 0
+        )
+        shard = self.pool.shard(shard_index)
+        headroom = shard.capacity_mb - shard.used_mb + container.memory_mb
+        if target_image.memory_mb > headroom:
+            return False
+        self.pool.remove(container_id)
+        self.repack(container, target_image, function_name)
+        container.current_function = function_name
+        container.last_used_at = now
+        self.pool.add(container, shard_index)
+        self.telemetry.record_lend()
+        self._lent[container_id] = function_name
+        if self.telemetry.trace_enabled:
+            self.telemetry.record_event(
+                now, "lend", container_id, function_name
+            )
+        self.telemetry.sample_memory(now, self.pool.used_mb)
+        self.telemetry.sample_live_memory(self.live_memory_mb)
+        return True
 
     # -- keep-alive / destruction --------------------------------------------
     def keep_alive(self, container: Container, now: float) -> None:
@@ -213,6 +294,10 @@ class ContainerLifecycle:
             self.live_memory_mb = max(
                 0.0, self.live_memory_mb - container.memory_mb
             )
+            if container.container_id in self._prewarmed:
+                self._prewarmed.discard(container.container_id)
+                self.telemetry.record_prewarm_waste()
+            self._lent.pop(container.container_id, None)
             if self._monitor is not None:
                 self._monitor.notify("destroy", container=container)
         self.placement.release(container.container_id, container.memory_mb)

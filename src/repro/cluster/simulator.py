@@ -64,7 +64,12 @@ from repro.containers.container import Container
 from repro.containers.costmodel import StartupCostModel
 from repro.containers.matching import MatchLevel, match_level
 from repro.containers.volumes import VolumeStore
-from repro.schedulers.base import Decision, Scheduler, SchedulingContext
+from repro.schedulers.base import (
+    Decision,
+    PrewarmRequest,
+    Scheduler,
+    SchedulingContext,
+)
 from repro.workloads.workload import Invocation, Workload
 
 __all__ = [
@@ -362,12 +367,11 @@ class ClusterSimulator:
         immediately and consumes pool capacity; the eviction policy makes
         room if needed.  When the container lands in the pool the warm
         memory is sampled (``telemetry.sample_memory``) so prewarm
-        experiments get accurate pool-occupancy traces.
+        experiments get accurate pool-occupancy traces.  Routed through
+        :meth:`ContainerLifecycle.prewarm`, so the pre-warm accounting
+        counters (issued / reused / wasted) cover zygote provisioning too.
         """
-        now = self.loop.now
-        container = self.lifecycle.create(image, owner_name, now, idle=True)
-        self.telemetry.sample_live_memory(self.lifecycle.live_memory_mb)
-        self.lifecycle.keep_alive(container, now)
+        container = self.lifecycle.prewarm(image, owner_name, self.loop.now)
         if self.verifier is not None:
             self.verifier.checkpoint()
         return container
@@ -548,6 +552,16 @@ class ClusterSimulator:
             queue_delay,
             worker_id,
         )
+        # Proactive actions attached by MPC/lending policies execute right
+        # after the decision itself, in every driving mode (batch, stream,
+        # incremental, online serve), keeping the modes decision-identical.
+        for action in decision.actions:
+            if isinstance(action, PrewarmRequest):
+                self.lifecycle.prewarm(action.image, action.function_name,
+                                       now)
+            else:
+                self.lifecycle.lend(action.container_id, action.image,
+                                    action.function_name, now)
         if self.verifier is not None:
             self.verifier.checkpoint()
         if not want_record:

@@ -157,6 +157,12 @@ class Telemetry:
         # the simulator after a run; see MLCRScheduler.attach_surrogate).
         self.surrogate_audits = 0
         self.surrogate_disagreements = 0
+        # Proactive-action counters (pre-warm / container lending).
+        self.prewarms_issued = 0
+        self.prewarm_reuses = 0
+        self.prewarm_wasted = 0
+        self.lends_issued = 0
+        self.lend_reuses = 0
         # Per-invocation columns (struct-of-arrays).
         self._inv_id = array("q")
         self._fn_ix = array("q")
@@ -289,6 +295,27 @@ class Telemetry:
         """
         self.surrogate_audits += audits
         self.surrogate_disagreements += disagreements
+
+    def record_prewarm_issue(self) -> None:
+        """Count one proactive pre-warm (a container created ahead of any
+        arrival)."""
+        self.prewarms_issued += 1
+
+    def record_prewarm_reuse(self) -> None:
+        """Count one pre-warmed container claimed by a real invocation."""
+        self.prewarm_reuses += 1
+
+    def record_prewarm_waste(self) -> None:
+        """Count one pre-warmed container destroyed before any claim."""
+        self.prewarm_wasted += 1
+
+    def record_lend(self) -> None:
+        """Count one idle container lent (re-specialized in place)."""
+        self.lends_issued += 1
+
+    def record_lend_reuse(self) -> None:
+        """Count one lent container claimed by its target function."""
+        self.lend_reuses += 1
 
     def record_event(
         self,
@@ -591,6 +618,10 @@ class Telemetry:
             base.update(self.queueing_summary())
         if self.surrogate_audits:
             base.update(self.surrogate_summary())
+        if self.prewarms_issued:
+            base.update(self.prewarm_summary())
+        if self.lends_issued:
+            base.update(self.lending_summary())
         return base
 
     def surrogate_summary(self) -> Dict[str, float]:
@@ -598,6 +629,29 @@ class Telemetry:
         return {
             "surrogate_audits": float(self.surrogate_audits),
             "surrogate_disagreements": float(self.surrogate_disagreements),
+        }
+
+    def prewarm_summary(self) -> Dict[str, float]:
+        """Pre-warm accounting block (present only when pre-warms ran).
+
+        ``prewarm_wasted`` counts pre-warmed containers destroyed before
+        any invocation claimed them -- the forecaster's false positives.
+        """
+        return {
+            "prewarms_issued": float(self.prewarms_issued),
+            "prewarm_reuses": float(self.prewarm_reuses),
+            "prewarm_wasted": float(self.prewarm_wasted),
+        }
+
+    def lending_summary(self) -> Dict[str, float]:
+        """Container-lending block (present only when lends ran).
+
+        ``lend_reuses`` counts lent containers later claimed by the
+        function they were re-specialized for -- the lending hit count.
+        """
+        return {
+            "lends_issued": float(self.lends_issued),
+            "lend_reuses": float(self.lend_reuses),
         }
 
 
@@ -761,6 +815,10 @@ QuantileSketch` sketches for the latency/queueing percentiles, so memory
             base.update(self.queueing_summary())
         if self.surrogate_audits:
             base.update(self.surrogate_summary())
+        if self.prewarms_issued:
+            base.update(self.prewarm_summary())
+        if self.lends_issued:
+            base.update(self.lending_summary())
         return base
 
     # -- row views: structurally unavailable ---------------------------------

@@ -64,10 +64,17 @@ SCHEDULER_FACTORIES: Dict[str, str] = {
     "coldonly": "ColdOnlyScheduler",
     "lookahead": "LookaheadScheduler",
     "walways": "AlwaysAdoptScheduler",
+    "mpc": "MPCScheduler",
+    "lending": "PagurusLendingScheduler",
+    "offline": "OfflineQScheduler",
 }
 
 #: The paper's four baselines, in ``make_baselines()`` order.
 BASELINE_KEYS: Tuple[str, ...] = ("lru", "faascache", "keepalive", "greedy")
+
+#: The default grid's scheduler set: the paper baselines plus the three
+#: extension policy families (MPC pre-warm, Pagurus lending, offline Q).
+GRID_KEYS: Tuple[str, ...] = BASELINE_KEYS + ("mpc", "lending", "offline")
 
 
 def build_scheduler(key: str):
@@ -385,7 +392,7 @@ class GridResult:
 def default_grid(
     scale: Optional[ExperimentScale] = None,
     workloads: Sequence[str] = ("Overall",),
-    schedulers: Sequence[str] = BASELINE_KEYS,
+    schedulers: Sequence[str] = GRID_KEYS,
     pool_labels: Optional[Sequence[str]] = None,
     seeds: Optional[Sequence[int]] = None,
     cache: Optional[ExperimentCache] = None,

@@ -10,29 +10,51 @@
   the deepest-matching container greedily; LRU eviction.
 * :class:`LookaheadScheduler` -- a clairvoyant bounded-horizon searcher used
   as an ablation upper bound (not in the paper's comparison set).
+* :class:`MPCScheduler` -- keep-alive reuse plus receding-horizon proactive
+  pre-warming from an EWMA arrival forecaster (Taming Cold Starts).
+* :class:`PagurusLendingScheduler` -- greedy reuse plus Pagurus-style
+  lending: long-idle containers are re-specialized toward other functions.
+* :class:`OfflineQScheduler` -- serves a tabular Q-policy fitted offline
+  from golden-trace / serve-recording JSONL (:mod:`repro.drl.offline`).
 * MLCR itself lives in :mod:`repro.core` (DRL-based) and plugs into the same
   :class:`Scheduler` interface.
 """
 
-from repro.schedulers.base import Decision, Scheduler, SchedulingContext
+from repro.schedulers.base import (
+    Decision,
+    LendRequest,
+    PrewarmRequest,
+    Scheduler,
+    SchedulingContext,
+)
 from repro.schedulers.coldonly import ColdOnlyScheduler
 from repro.schedulers.keepalive import KeepAliveScheduler
 from repro.schedulers.lru import LRUScheduler
 from repro.schedulers.faascache import FaasCacheScheduler
 from repro.schedulers.greedy import GreedyMatchScheduler
+from repro.schedulers.lending import PagurusLendingScheduler
 from repro.schedulers.lookahead import LookaheadScheduler
+from repro.schedulers.mpc import ArrivalForecaster, MPCScheduler
+from repro.schedulers.offline import OfflineQScheduler
 from repro.schedulers.walways import AlwaysAdoptScheduler
 from repro.schedulers.zygote import ZygoteScheduler, build_zygote_images
 
 __all__ = [
     "Scheduler",
     "SchedulingContext",
+    "Decision",
+    "PrewarmRequest",
+    "LendRequest",
     "ColdOnlyScheduler",
     "KeepAliveScheduler",
     "LRUScheduler",
     "FaasCacheScheduler",
     "GreedyMatchScheduler",
     "LookaheadScheduler",
+    "ArrivalForecaster",
+    "MPCScheduler",
+    "PagurusLendingScheduler",
+    "OfflineQScheduler",
     "AlwaysAdoptScheduler",
     "ZygoteScheduler",
     "build_zygote_images",

@@ -4,21 +4,59 @@ The simulator calls :meth:`Scheduler.decide` once per arriving invocation
 with a :class:`SchedulingContext` -- a read-only view of the warm pool plus
 the cost model -- and receives a :class:`~repro.cluster.simulator.Decision`:
 either reuse a specific idle container or cold-start a new one.
+
+Proactive policies (MPC pre-warming, Pagurus lending) additionally attach
+:class:`PrewarmRequest` / :class:`LendRequest` actions to their decisions;
+the driver executes them through
+:class:`~repro.cluster.lifecycle.ContainerLifecycle` immediately after
+applying the decision itself, so batch, streaming, incremental and online
+serving drives stay decision-identical.
 """
 
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple, Union
 
 from repro.containers.container import Container
 from repro.containers.costmodel import StartupCostModel
+from repro.containers.image import FunctionImage
 from repro.containers.matching import MatchLevel, match_level
 from repro.workloads.workload import Invocation
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (cluster -> base)
     from repro.cluster.pool import PoolSet
+
+
+@dataclass(frozen=True)
+class PrewarmRequest:
+    """Proactive action: create an idle container for ``function_name``.
+
+    Executed by :meth:`ContainerLifecycle.prewarm` right after the decision
+    carrying it is applied; the new container joins the warm pool through
+    the eviction policy like any finishing container.
+    """
+
+    image: FunctionImage
+    function_name: str
+
+
+@dataclass(frozen=True)
+class LendRequest:
+    """Proactive action: re-specialize idle ``container_id`` toward
+    ``function_name``'s image (Pagurus-style helping).
+
+    Executed by :meth:`ContainerLifecycle.lend`; a no-op when the donor is
+    gone, incompatible, or the repack would overflow its pool shard.
+    """
+
+    container_id: int
+    image: FunctionImage
+    function_name: str
+
+
+ProactiveAction = Union[PrewarmRequest, LendRequest]
 
 
 @dataclass(frozen=True)
@@ -29,10 +67,15 @@ class Decision:
     function but keeps its own (superset) image instead of being repacked to
     the function's image, so it can keep serving the whole function family.
     Only meaningful for warm decisions.
+
+    ``actions`` carries any proactive requests (pre-warms, lends) the
+    policy wants executed alongside this decision; empty for the reactive
+    baselines.
     """
 
     container_id: Optional[int] = None
     preserve_image: bool = False
+    actions: Tuple[ProactiveAction, ...] = field(default=())
 
     def __post_init__(self) -> None:
         if self.preserve_image and self.container_id is None:
@@ -49,6 +92,16 @@ class Decision:
     @classmethod
     def warm(cls, container_id: int, preserve_image: bool = False) -> "Decision":
         return cls(container_id=container_id, preserve_image=preserve_image)
+
+    def with_actions(
+        self, actions: Tuple[ProactiveAction, ...]
+    ) -> "Decision":
+        """Copy of this decision carrying ``actions`` (frozen dataclass)."""
+        return Decision(
+            container_id=self.container_id,
+            preserve_image=self.preserve_image,
+            actions=tuple(actions),
+        )
 
 
 @dataclass(frozen=True)

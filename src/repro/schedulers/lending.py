@@ -1,0 +1,115 @@
+"""Pagurus-style inter-function container lending (arXiv:2108.11240).
+
+Reactive half: deepest-match greedy reuse, byte-identical to
+:class:`~repro.schedulers.greedy.GreedyMatchScheduler` (the
+``lend_budget_zero_vs_greedy`` differential oracle pins this).
+
+Proactive half: when an arrival misses an exact match, an idle "helper"
+container that has sat unused past ``help_threshold_s`` is re-specialized
+toward the arriving function's package set via a
+:class:`~repro.schedulers.base.LendRequest` -- the lifecycle repacks it in
+place through the fingerprint-prefix match machinery (sharing every
+Table-I-compatible layer), so the function's next arrival finds an exact
+match.  ``lend_budget`` bounds the total lends per run; budget 0 disables
+lending entirely.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cluster.eviction import LRUEviction
+from repro.containers.container import Container
+from repro.containers.matching import MatchLevel
+from repro.schedulers.base import (
+    Decision,
+    LendRequest,
+    Scheduler,
+    SchedulingContext,
+)
+
+
+class PagurusLendingScheduler(Scheduler):
+    """Greedy multi-level reuse plus idle-container lending.
+
+    Parameters
+    ----------
+    lend_budget:
+        Maximum lends issued per run (``reset()`` restores the budget).
+        0 turns the policy into the plain greedy baseline.
+    help_threshold_s:
+        An idle container only becomes a lending donor once it has been
+        idle at least this long (Pagurus' "unlikely to be needed soon"
+        heuristic).  The default is short because the FStartBench
+        workloads are arrival-dense: a few idle seconds already signal a
+        container its own function is unlikely to reclaim immediately.
+    """
+
+    name = "Pagurus-Lend"
+
+    def __init__(
+        self, lend_budget: int = 64, help_threshold_s: float = 2.0
+    ) -> None:
+        if lend_budget < 0:
+            raise ValueError("lend_budget must be >= 0")
+        if help_threshold_s < 0:
+            raise ValueError("help_threshold_s must be >= 0")
+        self.lend_budget = lend_budget
+        self.help_threshold_s = help_threshold_s
+        self._lends_used = 0
+
+    def reset(self) -> None:
+        """Restore the full lending budget for a fresh run."""
+        self._lends_used = 0
+
+    @staticmethod
+    def make_eviction_policy() -> LRUEviction:
+        """LRU, matching the greedy baseline's pairing."""
+        return LRUEviction()
+
+    def decide(self, ctx: SchedulingContext) -> Decision:
+        """Greedy deepest-match reuse, plus a lend toward this function
+        when the hit was inexact and a donor is available."""
+        container, level = ctx.best_candidate()
+        decision = (
+            Decision.warm(container.container_id)
+            if level.is_reusable
+            else Decision.cold()
+        )
+        if (
+            self._lends_used >= self.lend_budget
+            or level is MatchLevel.L3
+        ):
+            # Exact hit: nothing to improve for this function right now.
+            return decision
+        donor = self._pick_donor(ctx, decision)
+        if donor is None:
+            return decision
+        self._lends_used += 1
+        spec = ctx.invocation.spec
+        return decision.with_actions((
+            LendRequest(
+                container_id=donor.container_id,
+                image=spec.image,
+                function_name=spec.name,
+            ),
+        ))
+
+    def _pick_donor(
+        self, ctx: SchedulingContext, decision: Decision
+    ) -> Optional[Container]:
+        """Deepest-matching idle helper past the threshold, longest-idle
+        tie-break; excludes the container this decision claims."""
+        best: Optional[Container] = None
+        best_level = MatchLevel.NO_MATCH
+        for candidate in ctx.idle_containers:  # LRU (longest-idle) first
+            if candidate.container_id == decision.container_id:
+                continue
+            if candidate.idle_duration(ctx.now) < self.help_threshold_s:
+                continue
+            level = ctx.match_of(candidate)
+            if not level.is_reusable:
+                continue
+            if level > best_level:
+                best, best_level = candidate, level
+        return best

@@ -1,0 +1,121 @@
+"""Scheduler serving an offline-fitted tabular Q-policy.
+
+:class:`OfflineQScheduler` looks up the arriving function's Q-row in an
+:class:`~repro.drl.offline.OfflineQPolicy` (fitted by
+:func:`~repro.drl.offline.fit_from_traces` from golden-trace /
+serve-recording JSONL), masks out actions with no idle candidate at that
+match level, and picks the arg-max action with the same
+:func:`~repro.drl.dqn.masked_argmax` used by the PR-3 DQN stack.  For
+functions the data never covered -- or before any policy is attached --
+it falls back to the greedy deepest-match rule, so the registry's no-arg
+construction is always valid.
+
+When built without an explicit policy, :meth:`observe_workload`
+bootstraps one from the workload itself: a greedy reference rollout on an
+unbounded pool is recorded in memory and fitted, so experiment-grid cells
+genuinely train from traces (deterministically -- same workload, same
+rollout, same policy) without any filesystem coupling.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.cluster.eviction import LRUEviction
+from repro.containers.matching import MatchLevel
+from repro.drl.dqn import masked_argmax
+from repro.drl.offline import OfflineQPolicy
+from repro.schedulers.base import Decision, Scheduler, SchedulingContext
+
+
+class OfflineQScheduler(Scheduler):
+    """Serve decisions from a trace-fitted tabular Q-function.
+
+    Parameters
+    ----------
+    policy:
+        A fitted :class:`~repro.drl.offline.OfflineQPolicy`.  ``None``
+        (the registry default) starts untrained: decisions fall back to
+        greedy deepest-match until :meth:`observe_workload` bootstraps a
+        policy from a reference rollout.
+    """
+
+    name = "Offline-Q"
+
+    def __init__(self, policy: Optional[OfflineQPolicy] = None) -> None:
+        self.policy = policy
+        # An explicitly-supplied policy is pinned: observe_workload will
+        # not overwrite it (serving a trained checkpoint must not retrain).
+        self._policy_pinned = policy is not None
+
+    def reset(self) -> None:
+        """Drop any bootstrapped policy (pinned checkpoints survive)."""
+        if not self._policy_pinned:
+            self.policy = None
+
+    @staticmethod
+    def make_eviction_policy() -> LRUEviction:
+        """LRU, like the other multi-level-reuse policies."""
+        return LRUEviction()
+
+    def observe_workload(self, workload) -> None:
+        """Bootstrap a policy from a greedy reference rollout (offline).
+
+        No-op when a policy was supplied at construction.  The rollout
+        runs the greedy baseline over ``workload`` on an unbounded pool;
+        its decision lines become the offline dataset.
+        """
+        if self._policy_pinned:
+            return
+        # Deferred imports: schedulers must stay importable without
+        # dragging the full cluster stack in at package-import time.
+        from repro.cluster.simulator import ClusterSimulator, SimulationConfig
+        from repro.drl.offline import fit_from_traces, trace_lines_from_result
+        from repro.schedulers.greedy import GreedyMatchScheduler
+
+        reference = GreedyMatchScheduler()
+        sim = ClusterSimulator(
+            SimulationConfig(pool_capacity_mb=float("inf")),
+            reference.make_eviction_policy(),
+        )
+        result = sim.run(workload, reference)
+        self.policy = fit_from_traces([trace_lines_from_result(result)])
+
+    def decide(self, ctx: SchedulingContext) -> Decision:
+        """Masked arg-max over the function's Q-row; greedy fallback."""
+        if self.policy is None:
+            return self._fallback(ctx)
+        qvals = self.policy.action_values(ctx.invocation.spec.name)
+        if qvals is None:
+            return self._fallback(ctx)
+        counts = ctx.match_counts()
+        available = np.array([
+            True,  # cold start is always available
+            counts[MatchLevel.L1] > 0,
+            counts[MatchLevel.L2] > 0,
+            counts[MatchLevel.L3] > 0,
+        ])
+        mask = available & ~np.isnan(qvals)
+        if not mask.any():
+            return self._fallback(ctx)
+        q = np.where(np.isnan(qvals), -np.inf, qvals)
+        action = int(masked_argmax(q[None, :], mask[None, :])[0])
+        if action == 0:
+            return Decision.cold()
+        level = MatchLevel(action)
+        for container, match in ctx.reusable_containers():
+            if match is level:
+                return Decision.warm(container.container_id)
+        # Unreachable while match_counts and reusable_containers agree;
+        # degrade safely rather than raise inside a decision.
+        return self._fallback(ctx)  # pragma: no cover
+
+    @staticmethod
+    def _fallback(ctx: SchedulingContext) -> Decision:
+        """Greedy deepest-match rule (untrained / unseen-function path)."""
+        container, level = ctx.best_candidate()
+        if level.is_reusable:
+            return Decision.warm(container.container_id)
+        return Decision.cold()

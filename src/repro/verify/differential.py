@@ -45,6 +45,17 @@ surrogate_vs_network       the distilled decision tree reproduces >= 99%
                            of the network's greedy actions on the
                            distillation trajectory, and mask-invalid
                            predictions fall back to the network
+mpc_forecast_off           ``MPCScheduler(forecast=False)`` ==
+                           ``KeepAliveScheduler`` (bit-identical
+                           summaries and per-invocation columns: the
+                           proactive half must be a pure overlay)
+lend_budget_zero           ``PagurusLendingScheduler(lend_budget=0)`` ==
+                           ``GreedyMatchScheduler`` (bit-identical
+                           summaries and per-invocation columns)
+offline_deterministic      ``fit_from_traces`` is shard-order
+                           independent (bit-identical Q tables) and a
+                           fitted :class:`OfflineQScheduler` replays a
+                           fixed workload to bit-identical summaries
 =========================  ==============================================
 
 Runnable as the ``tests/test_verify_differential.py`` pytest suite and as
@@ -684,6 +695,127 @@ def oracle_surrogate_vs_network() -> OracleResult:
     )
 
 
+def _run_scheduler(scheduler, workload, capacity_mb: float = 1500.0):
+    """One simulator run with the scheduler's own eviction pairing.
+
+    Returns ``(simulator, result)`` so oracles can compare both the
+    summary and the raw per-invocation columns.
+    """
+    scheduler.reset()
+    eviction = (scheduler.make_eviction_policy()
+                if hasattr(scheduler, "make_eviction_policy") else None)
+    sim = ClusterSimulator(
+        SimulationConfig(pool_capacity_mb=capacity_mb), eviction
+    )
+    result = sim.run(workload, scheduler)
+    return sim, result
+
+
+def _columns_equal(a, b) -> Optional[str]:
+    """First diverging invocation-column field, or ``None`` when equal."""
+    for fld in a._fields:
+        if list(getattr(a, fld)) != list(getattr(b, fld)):
+            return f"column {fld!r} diverges"
+    return None
+
+
+def _degenerate_vs_baseline(
+    name: str, degenerate, baseline
+) -> OracleResult:
+    """Bit-compare a knob-disabled proactive policy against its baseline
+    over two workload draws."""
+    checked = 0
+    for workload_name, seed in (("LO-Sim", 0), ("Peak", 1)):
+        workload = build_workload(workload_name, seed=seed)
+        sim_a, res_a = _run_scheduler(degenerate, workload)
+        sim_b, res_b = _run_scheduler(baseline, workload)
+        summary_a, summary_b = res_a.summary(), res_b.summary()
+        if list(summary_a.items()) != list(summary_b.items()):
+            diff = [k for k in summary_a
+                    if summary_a.get(k) != summary_b.get(k)]
+            return OracleResult(
+                name, False,
+                f"{workload_name}: summaries differ at {diff or 'keys'}",
+            )
+        mismatch = _columns_equal(
+            sim_a.telemetry.invocation_columns(),
+            sim_b.telemetry.invocation_columns(),
+        )
+        if mismatch:
+            return OracleResult(name, False, f"{workload_name}: {mismatch}")
+        checked += len(workload)
+    return OracleResult(
+        name, True, f"{checked} invocations bit-identical over 2 workloads"
+    )
+
+
+def oracle_mpc_forecast_off() -> OracleResult:
+    """Forecast-disabled MPC is bit-identical to the keep-alive baseline."""
+    from repro.schedulers.keepalive import KeepAliveScheduler
+    from repro.schedulers.mpc import MPCScheduler
+
+    return _degenerate_vs_baseline(
+        "mpc_forecast_off",
+        MPCScheduler(forecast=False),
+        KeepAliveScheduler(),
+    )
+
+
+def oracle_lend_budget_zero() -> OracleResult:
+    """Budget-zero lending is bit-identical to the greedy baseline."""
+    from repro.schedulers.lending import PagurusLendingScheduler
+
+    return _degenerate_vs_baseline(
+        "lend_budget_zero",
+        PagurusLendingScheduler(lend_budget=0),
+        GreedyMatchScheduler(),
+    )
+
+
+def oracle_offline_deterministic() -> OracleResult:
+    """Offline Q-learning is shard-order independent and replay-stable.
+
+    Records a greedy reference trace, fits :func:`fit_from_traces` over
+    the shards in two different orders (Q tables must be bit-identical),
+    then serves the fitted policy through :class:`OfflineQScheduler`
+    twice and demands bit-identical summaries and decision columns.
+    """
+    from repro.drl.offline import fit_from_traces, trace_lines_from_result
+    from repro.schedulers.offline import OfflineQScheduler
+
+    name = "offline_deterministic"
+    workload = build_workload("LO-Sim", seed=0)
+    _, reference = _run_scheduler(GreedyMatchScheduler(), workload,
+                                  capacity_mb=float("inf"))
+    lines = trace_lines_from_result(reference)
+    half = len(lines) // 2
+    shards = [lines[:half], lines[half:]]
+    forward = fit_from_traces(shards)
+    backward = fit_from_traces(list(reversed(shards)))
+    if forward.states != backward.states:
+        return OracleResult(name, False, "state sets differ across orders")
+    if forward.q.tobytes() != backward.q.tobytes():
+        return OracleResult(
+            name, False, "Q tables differ across shard orders"
+        )
+
+    first_sim, first = _run_scheduler(OfflineQScheduler(forward), workload)
+    second_sim, second = _run_scheduler(OfflineQScheduler(forward), workload)
+    if list(first.summary().items()) != list(second.summary().items()):
+        return OracleResult(name, False, "replay summaries differ")
+    mismatch = _columns_equal(
+        first_sim.telemetry.invocation_columns(),
+        second_sim.telemetry.invocation_columns(),
+    )
+    if mismatch:
+        return OracleResult(name, False, f"replay {mismatch}")
+    return OracleResult(
+        name, True,
+        f"Q over {len(forward.states)} states bit-stable across shard "
+        f"orders; {len(workload)}-invocation replay bit-identical",
+    )
+
+
 #: Registry of every differential oracle, in documentation order.
 ORACLES: Dict[str, Callable[[], OracleResult]] = {
     "batch_vs_incremental": oracle_batch_vs_incremental,
@@ -697,6 +829,9 @@ ORACLES: Dict[str, Callable[[], OracleResult]] = {
     "serve_replay": oracle_serve_replay,
     "lanes_vs_sequential": oracle_lanes_vs_sequential,
     "surrogate_vs_network": oracle_surrogate_vs_network,
+    "mpc_forecast_off": oracle_mpc_forecast_off,
+    "lend_budget_zero": oracle_lend_budget_zero,
+    "offline_deterministic": oracle_offline_deterministic,
 }
 
 

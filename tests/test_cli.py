@@ -56,6 +56,43 @@ class TestCommands:
         assert main(["experiment", "fig3"]) == 0
         assert "ubuntu" in capsys.readouterr().out
 
+    def test_simulate_proactive_scheduler(self, capsys):
+        assert main([
+            "simulate", "--workload", "LO-Sim", "--scheduler", "mpc",
+            "--pool", "tight",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "MPC-Prewarm" in out
+
+    def test_train_offline_writes_policy(self, tmp_path, capsys):
+        from repro.cluster.simulator import ClusterSimulator, SimulationConfig
+        from repro.drl.offline import OfflineQPolicy, trace_lines_from_result
+        from repro.schedulers.greedy import GreedyMatchScheduler
+        from repro.workloads.fstartbench import build_workload
+
+        workload = build_workload("LO-Sim", seed=0)
+        sim = ClusterSimulator(SimulationConfig(pool_capacity_mb=2000.0))
+        result = sim.run(workload, GreedyMatchScheduler())
+        trace = tmp_path / "greedy.jsonl"
+        trace.write_text("\n".join(trace_lines_from_result(result)) + "\n")
+
+        out_file = tmp_path / "q.npz"
+        assert main([
+            "train-offline", str(trace), "--output", str(out_file),
+            "--evaluate", "LO-Sim",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert out_file.exists()
+        assert "fitted" in out and "evaluation on LO-Sim" in out
+        policy = OfflineQPolicy.load(out_file)
+        assert policy.n_transitions == len(workload)
+
+    def test_train_offline_empty_trace_fails(self, tmp_path, capsys):
+        trace = tmp_path / "empty.jsonl"
+        trace.write_text('{"version": 1}\n')
+        assert main(["train-offline", str(trace),
+                     "--output", str(tmp_path / "q.npz")]) == 1
+
     def test_train_writes_policy(self, tmp_path, capsys, monkeypatch):
         # Keep it minimal: 1-episode training on the smallest workload.
         out_file = tmp_path / "p.npz"

@@ -134,6 +134,21 @@ class TestRunGridIntegration:
         laned = run_grid(tasks, jobs=1, lanes=3)
         assert [c.summary for c in laned] == [c.summary for c in sequential]
 
+    def test_proactive_policies_fall_back_to_sequential(self):
+        """mpc/lending/offline cells are not lane-lowered: ``run_grid``
+        with lanes on must route them through the sequential path and
+        stay byte-identical to ``lanes=0``."""
+        for key in ("mpc", "lending", "offline"):
+            assert not lane_supported(make_task(key))
+            assert not lane_supported_scheduler(key)
+        tasks = [make_task("lru"), make_task("mpc"), make_task("lending"),
+                 make_task("offline"), make_task("greedy", seed=1)]
+        sequential = run_grid(tasks, jobs=1)
+        laned = run_grid(tasks, jobs=1, lanes=4)
+        assert [c.method for c in laned] == [c.method for c in sequential]
+        assert [list(c.summary.items()) for c in laned] == [
+            list(c.summary.items()) for c in sequential]
+
     def test_parallel_jobs_with_lanes(self):
         tasks = [make_task(s, seed=seed)
                  for seed in (0, 1) for s in ("lru", "keepalive", "greedy")]

@@ -4,6 +4,7 @@ import pytest
 
 from repro.experiments.parallel import (
     BASELINE_KEYS,
+    GRID_KEYS,
     GridResult,
     GridTask,
     SCHEDULER_FACTORIES,
@@ -26,6 +27,11 @@ def small_tasks(schedulers=("lru", "greedy"), seeds=(0,)):
 class TestRegistry:
     def test_baselines_subset_of_registry(self):
         assert set(BASELINE_KEYS) <= set(SCHEDULER_FACTORIES)
+
+    def test_grid_keys_extend_baselines(self):
+        assert set(BASELINE_KEYS) < set(GRID_KEYS)
+        assert set(GRID_KEYS) <= set(SCHEDULER_FACTORIES)
+        assert {"mpc", "lending", "offline"} <= set(GRID_KEYS)
 
     def test_build_scheduler(self):
         assert build_scheduler("greedy").name == "Greedy-Match"
@@ -81,7 +87,7 @@ class TestDefaultGrid:
         tasks = default_grid(workloads=("LO-Sim",), seeds=[0, 1],
                              pool_labels=("Tight", "Loose"))
         # workloads x pools x seeds x schedulers
-        assert len(tasks) == 1 * 2 * 2 * len(BASELINE_KEYS)
+        assert len(tasks) == 1 * 2 * 2 * len(GRID_KEYS)
         assert tasks == default_grid(workloads=("LO-Sim",), seeds=[0, 1],
                                      pool_labels=("Tight", "Loose"))
         labels = {t.pool_label for t in tasks}

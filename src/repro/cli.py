@@ -299,6 +299,12 @@ def cmd_experiment(args: argparse.Namespace) -> int:
     if args.id in simple:
         module = simple[args.id]
         print(module.report(module.run()))
+    elif args.id == "stream":
+        # The streaming family takes the lane count: cells replaying the
+        # same stream share one chunked lane pass under --lanes.
+        print(ext_stream_replay.report(ext_stream_replay.run(
+            ExperimentScale.from_env(), lanes=getattr(args, "lanes", 1)
+        )))
     elif args.id in scaled:
         module = scaled[args.id]
         print(module.report(module.run(ExperimentScale.from_env())))
@@ -532,6 +538,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("experiment", help="run a paper experiment")
     p.add_argument("id", choices=_EXPERIMENTS)
+    p.add_argument("--lanes", type=int, default=1,
+                   help="simulation lanes for the stream family: replay "
+                        "cells sharing a stream through one chunked lane "
+                        "pass (byte-identical results; ignored by other "
+                        "experiments)")
     p.set_defaults(func=cmd_experiment)
 
     p = sub.add_parser("trace",

@@ -242,6 +242,57 @@ class WarmPool:
             return None
         return max(bucket.values(), key=_mru_key)
 
+    def exact_matches(self, image: FunctionImage) -> List[Container]:
+        """Idle containers fully (L3) matching ``image``, MRU first.
+
+        Single-shard equivalent of :meth:`PoolSet.exact_matches`, so the
+        lane kernel's scripted contexts can hand schedulers a ``pool``
+        that duck-types the set.
+        """
+        bucket = self._idx_l3.get(image.fingerprints)
+        if not bucket:
+            return []
+        matches = list(bucket.values())
+        matches.sort(key=_mru_key, reverse=True)
+        return matches
+
+    def best_at_level(
+        self, image: FunctionImage, level: MatchLevel
+    ) -> Optional[Container]:
+        """Most-recently-used container matching ``image`` at *exactly*
+        ``level`` (no deeper), or None.
+
+        Equivalent to the first hit of a ``reusable_containers()`` scan
+        filtered to that level -- the scan orders deepest level first and
+        MRU within a level, so the exact-level MRU maximum is the same
+        container.  Containers at exactly L2 are the L2-prefix bucket
+        minus the L3 bucket; exactly L1 is the L1 bucket minus the L2
+        bucket (which contains the L3 one).  This is the lane kernel's
+        fast path for the Offline-Q level-targeted pick.
+        """
+        f = image.fingerprints
+        if level is MatchLevel.L3:
+            bucket = self._idx_l3.get(f)
+            if not bucket:
+                return None
+            return max(bucket.values(), key=_mru_key)
+        if level is MatchLevel.L2:
+            bucket = self._idx_l2.get(f[:2])
+            deeper = self._idx_l3.get(f)
+        elif level is MatchLevel.L1:
+            bucket = self._idx_l1.get(f[0])
+            deeper = self._idx_l2.get(f[:2])
+        else:
+            raise ValueError("best_at_level requires a reusable match level")
+        if not bucket:
+            return None
+        if deeper:
+            candidates = [c for cid, c in bucket.items() if cid not in deeper]
+            if not candidates:
+                return None
+            return max(candidates, key=_mru_key)
+        return max(bucket.values(), key=_mru_key)
+
     def expire_older_than(self, threshold: float) -> List[Container]:
         """Pop and return LRU-head containers with ``last_used_at < threshold``.
 

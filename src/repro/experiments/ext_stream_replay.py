@@ -196,6 +196,42 @@ def _run_cell_packed(task: StreamReplayTask) -> PackedStreamCell:
     return cell.method, tuple(cell.summary), array("d", cell.summary.values())
 
 
+def _run_lane_group_packed(
+    tasks: Tuple[StreamReplayTask, ...]
+) -> List[PackedStreamCell]:
+    """Worker entry point: replay one stream through many lanes at once.
+
+    ``tasks`` must share ``(seed, n_functions, n_invocations)`` so they
+    describe the *same* arrival stream; each task becomes one bounded lane
+    (its own scheduler and derived capacity) of a single
+    :func:`~repro.cluster.lanes.run_stream_lanes` pass, which lowers the
+    stream into columnar chunks exactly once instead of once per cell.
+    Results come back in task order as the same columnar blocks
+    :func:`_run_cell_packed` ships -- byte-identical to the sequential
+    ``run_stream`` path (the ``streaming_vs_materialized`` oracle pins
+    this), so downstream unpacking cannot tell the paths apart.
+    """
+    from repro.cluster.lanes import run_stream_lanes
+
+    head = tasks[0]
+    generator = AzureTraceGenerator(
+        trace_config(head.n_functions, head.n_invocations)
+    )
+    stream = generator.stream(seed=head.seed)
+    results = run_stream_lanes(
+        [
+            (task.scheduler,
+             derive_capacity_mb(stream, task.capacity_fraction))
+            for task in tasks
+        ],
+        stream,
+    )
+    return [
+        (res.method, tuple(res.summary), array("d", res.summary.values()))
+        for res in results
+    ]
+
+
 def default_tasks(
     scale: Optional[ExperimentScale] = None,
     schedulers: Sequence[str] = STREAM_SCHEDULERS,
@@ -220,15 +256,47 @@ def run(
     jobs: int = 1,
     schedulers: Sequence[str] = STREAM_SCHEDULERS,
     seeds: Sequence[int] = STREAM_SEEDS,
+    lanes: int = 1,
 ) -> StreamReplayResult:
     """Replay the scenario family, fanning cells over ``jobs`` processes.
 
     Results come back in task order (``Pool.map`` preserves it), and the
     serial path round-trips through the same columnar packer as the
     parallel one, so the outcome is byte-identical for any ``jobs``.
+
+    ``lanes > 1`` groups cells that replay the same stream (same seed and
+    trace shape) and runs each group through one chunked
+    :func:`~repro.cluster.lanes.run_stream_lanes` pass -- the stream is
+    generated and lowered once per group instead of once per cell, still
+    O(1)-memory, with summaries byte-identical to the sequential path.
+    ``jobs`` then fans the *groups* across workers.
     """
     tasks = default_tasks(scale, schedulers=schedulers, seeds=seeds)
-    if jobs <= 1 or len(tasks) <= 1:
+    if lanes > 1:
+        groups: Dict[Tuple[int, int, int, float],
+                     List[StreamReplayTask]] = {}
+        for task in tasks:
+            key = (task.seed, task.n_functions, task.n_invocations,
+                   task.capacity_fraction)
+            groups.setdefault(key, []).append(task)
+        batches = [
+            tuple(group[j:j + lanes])
+            for group in groups.values()
+            for j in range(0, len(group), lanes)
+        ]
+        if jobs <= 1 or len(batches) <= 1:
+            batch_packed = [_run_lane_group_packed(b) for b in batches]
+        else:
+            ctx = _pool_context()
+            with ctx.Pool(processes=min(jobs, len(batches))) as pool:
+                batch_packed = pool.map(_run_lane_group_packed, batches)
+        packed_by_task = {
+            id(task): block
+            for batch, blocks in zip(batches, batch_packed)
+            for task, block in zip(batch, blocks)
+        }
+        packed = [packed_by_task[id(task)] for task in tasks]
+    elif jobs <= 1 or len(tasks) <= 1:
         packed = [_run_cell_packed(t) for t in tasks]
     else:
         ctx = _pool_context()

@@ -34,12 +34,15 @@ in-process cache).
 from __future__ import annotations
 
 import multiprocessing
+import os
 from array import array
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.report import ascii_table
 from repro.cluster.lanes import (
+    SCHEDULER_CLASS_NAMES,
     ArrivalTable,
     LaneKernel,
     LaneSpec,
@@ -55,19 +58,12 @@ from repro.workloads.workload import Workload
 
 #: Scheduler registry: CLI name -> class name in :mod:`repro.schedulers`.
 #: Every entry builds with no constructor arguments, which is what makes
-#: grid tasks picklable and worker-rebuildable.
-SCHEDULER_FACTORIES: Dict[str, str] = {
-    "lru": "LRUScheduler",
-    "faascache": "FaasCacheScheduler",
-    "keepalive": "KeepAliveScheduler",
-    "greedy": "GreedyMatchScheduler",
-    "coldonly": "ColdOnlyScheduler",
-    "lookahead": "LookaheadScheduler",
-    "walways": "AlwaysAdoptScheduler",
-    "mpc": "MPCScheduler",
-    "lending": "PagurusLendingScheduler",
-    "offline": "OfflineQScheduler",
-}
+#: grid tasks picklable and worker-rebuildable.  The mapping is shared
+#: with the lane kernel (:data:`repro.cluster.lanes.SCHEDULER_CLASS_NAMES`)
+#: so every registry key has a lane path by construction -- there is no
+#: supported-but-unlisted scheduler that could silently fall back to the
+#: sequential driver under ``lanes > 1``.
+SCHEDULER_FACTORIES: Dict[str, str] = dict(SCHEDULER_CLASS_NAMES)
 
 #: The paper's four baselines, in ``make_baselines()`` order.
 BASELINE_KEYS: Tuple[str, ...] = ("lru", "faascache", "keepalive", "greedy")
@@ -157,20 +153,47 @@ def clear_workload_cache() -> None:
     _ARRIVAL_TABLE_CACHE.clear()
 
 
+def _arrival_table_cache_cap() -> int:
+    """Size bound of the per-process arrival-table memo.
+
+    ``REPRO_ARRIVAL_TABLE_CACHE`` overrides the default of 8 tables; a
+    20k-function table costs real memory, so the memo must not accumulate
+    one entry per ``(workload, seed)`` across a large grid.  Values below
+    1 are clamped to 1 (the memo is useless without at least the current
+    draw).
+    """
+    raw = os.environ.get("REPRO_ARRIVAL_TABLE_CACHE", "")
+    try:
+        cap = int(raw)
+    except ValueError:
+        cap = 8
+    return max(1, cap) if raw else 8
+
+
 #: Per-process columnar lowering memo keyed by ``(name, seed)``: every lane
 #: replaying the same workload draw shares one read-only
-#: :class:`~repro.cluster.lanes.ArrivalTable`.
-_ARRIVAL_TABLE_CACHE: Dict[Tuple[str, int], ArrivalTable] = {}
+#: :class:`~repro.cluster.lanes.ArrivalTable`.  Bounded LRU (see
+#: :func:`_arrival_table_cache_cap`): hits refresh recency, inserts beyond
+#: the cap evict the least-recently-used table.  Eviction is
+#: equivalence-preserving -- a re-lowered table is bit-identical to the
+#: evicted one.
+_ARRIVAL_TABLE_CACHE: "OrderedDict[Tuple[str, int], ArrivalTable]" = (
+    OrderedDict()
+)
 
 
 def cached_arrival_table(name: str, seed: int) -> ArrivalTable:
-    """Columnar lowering of one workload draw (process-memoized)."""
+    """Columnar lowering of one workload draw (bounded process memo)."""
     key = (name, seed)
     table = _ARRIVAL_TABLE_CACHE.get(key)
     if table is None:
-        table = _ARRIVAL_TABLE_CACHE[key] = ArrivalTable(
-            cached_workload(name, seed)
-        )
+        table = ArrivalTable(cached_workload(name, seed))
+        _ARRIVAL_TABLE_CACHE[key] = table
+        cap = _arrival_table_cache_cap()
+        while len(_ARRIVAL_TABLE_CACHE) > cap:
+            _ARRIVAL_TABLE_CACHE.popitem(last=False)
+    else:
+        _ARRIVAL_TABLE_CACHE.move_to_end(key)
     return table
 
 
@@ -179,7 +202,8 @@ def lane_supported(task: GridTask) -> bool:
 
     Grid cells all use the default single-shard, no-concurrency-limit
     simulator configuration, so support hinges only on the scheduler having
-    a lane fast path.  The ``stream`` flag is irrelevant: batch and stream
+    a lane fast path -- which every registry key now does (closed-form or
+    scripted).  The ``stream`` flag is irrelevant: batch and stream
     summaries are identical by the ``streaming_vs_materialized`` oracle's
     guarantee, and the lane kernel reproduces both.
     """
@@ -275,13 +299,15 @@ def run_grid(
     bit-identical -- the ``cached_vs_fresh`` differential oracle enforces
     this.
 
-    With ``lanes > 1``, cache-missed cells whose scheduler has a lane fast
-    path (:func:`lane_supported`) run in batches of ``lanes`` on the
-    :class:`~repro.cluster.lanes.LaneKernel` -- many cells per process
-    step instead of one full simulator per cell.  Lane cells are
-    byte-identical to sequential ones (the ``lanes_vs_sequential`` oracle
-    and hypothesis suite enforce this); unsupported schedulers silently
-    take the sequential path, so any grid accepts any ``lanes`` value.
+    With ``lanes > 1``, every cache-missed cell runs in batches of
+    ``lanes`` on the :class:`~repro.cluster.lanes.LaneKernel` -- many
+    cells per process step instead of one full simulator per cell.  The
+    whole scheduler registry has lane paths (closed-form or scripted), so
+    there is no silent sequential fallback: a task whose scheduler the
+    kernel does not know raises ``KeyError``, exactly as
+    :func:`build_scheduler` would.  Lane cells are byte-identical to
+    sequential ones (the ``lanes_vs_sequential`` oracle and hypothesis
+    suite enforce this), so any grid accepts any ``lanes`` value.
     """
     tasks = list(tasks)
     cells: List[Optional[GridCell]] = [None] * len(tasks)
@@ -298,8 +324,7 @@ def run_grid(
         misses = list(range(len(tasks)))
     if misses:
         if lanes > 1:
-            laned = [i for i in misses if lane_supported(tasks[i])]
-            solo = [i for i in misses if not lane_supported(tasks[i])]
+            laned, solo = list(misses), []
         else:
             laned, solo = [], list(misses)
         batches = [

@@ -32,15 +32,20 @@ streaming_vs_materialized  ``ClusterSimulator.run_stream`` over a lazy
                            materialized workload (identical summaries
                            and per-invocation columns, for both a
                            wrapped FStartBench list and a chunk-
-                           synthesized Azure stream)
+                           synthesized Azure stream), and chunked
+                           ``run_stream_lanes`` == bounded-telemetry
+                           ``run_stream`` for every registry scheduler
+                           (byte-equal summaries)
 serve_replay               a recorded ``repro.serve`` session (wall-
                            stamped arrivals, janitor pumps between
                            requests, a scheduler hot-swap) replayed
                            through a fresh engine makes byte-identical
                            decisions
 lanes_vs_sequential        ``run_grid(lanes=8)`` lane-kernel cells ==
-                           sequential cells for every lane-supported
-                           scheduler (byte-identical summaries)
+                           sequential cells for every scheduler in the
+                           experiment registry (derived, not hardcoded;
+                           byte-identical summaries, proactive pre-warm
+                           / lending blocks included)
 surrogate_vs_network       the distilled decision tree reproduces >= 99%
                            of the network's greedy actions on the
                            distillation trajectory, and mask-invalid
@@ -447,7 +452,11 @@ def oracle_streaming_vs_materialized() -> OracleResult:
     check) and a chunk-synthesized
     :meth:`~repro.workloads.azure.AzureTraceGenerator.stream` against its
     own materialized ``generate()`` (feed path plus arrival synthesis),
-    each under two schedulers.
+    each under two schedulers.  A third leg pins the chunked streaming
+    *lane* lowering: :func:`~repro.cluster.lanes.run_stream_lanes` over
+    the Azure stream must be byte-equal (exact ``==``) to the sequential
+    bounded-telemetry ``run_stream`` for every scheduler in the
+    experiment registry.
     """
     from repro.schedulers.lru import LRUScheduler
     from repro.workloads.azure import AzureTraceConfig, AzureTraceGenerator
@@ -493,10 +502,52 @@ def oracle_streaming_vs_materialized() -> OracleResult:
                         f"column {fld!r} diverges",
                     )
             checked += len(want.invocation_id)
+
+    # Third leg: chunked streaming *lane* replay.  Every registry
+    # scheduler replays the Azure stream once through the sequential
+    # bounded-telemetry ``run_stream`` and once through
+    # ``run_stream_lanes`` (all lanes sharing one chunked lowering);
+    # summaries must be byte-equal.
+    from repro.cluster.lanes import run_stream_lanes
+    from repro.experiments.parallel import SCHEDULER_FACTORIES, build_scheduler
+
+    capacity_mb = 2000.0
+    lane_cells = [(key, capacity_mb) for key in SCHEDULER_FACTORIES]
+    lane_results = run_stream_lanes(
+        lane_cells, azure.stream(seed=0), chunk_size=64
+    )
+    for (key, _cap), lane in zip(lane_cells, lane_results):
+        scheduler = build_scheduler(key)
+        eviction = (
+            scheduler.make_eviction_policy()
+            if hasattr(scheduler, "make_eviction_policy") else None
+        )
+        stream_sim = ClusterSimulator(
+            SimulationConfig(
+                pool_capacity_mb=capacity_mb, bounded_telemetry=True,
+            ),
+            eviction,
+        )
+        streamed = stream_sim.run_stream(azure.stream(seed=0), scheduler)
+        if lane.method != streamed.scheduler_name:
+            return OracleResult(
+                name, False,
+                f"stream-lane {key}: method {lane.method!r} vs "
+                f"{streamed.scheduler_name!r}",
+            )
+        want_summary = streamed.summary()
+        if list(want_summary.items()) != list(lane.summary.items()):
+            diff = [k for k in want_summary
+                    if want_summary[k] != lane.summary.get(k)]
+            return OracleResult(
+                name, False,
+                f"stream-lane {key}: summaries differ at {diff}",
+            )
     return OracleResult(
         name, True,
         f"{checked} records identical across "
-        f"{len(pairs)}x{len(schedulers)} runs",
+        f"{len(pairs)}x{len(schedulers)} runs; "
+        f"{len(lane_cells)} stream-lane summaries byte-equal",
     )
 
 
@@ -587,18 +638,34 @@ def oracle_serve_replay() -> OracleResult:
 def oracle_lanes_vs_sequential() -> OracleResult:
     """Lane-kernel grid cells are byte-identical to sequential ones.
 
-    Runs every lane-supported scheduler over two workload draws and two
-    pool capacities, once through the per-cell sequential simulator and
-    once through ``run_grid(lanes=8)``, comparing summaries with ``==``
-    (bit equality, not tolerance) -- the lane kernel's whole contract.
+    The scheduler list is derived from the *experiment registry*
+    (``SCHEDULER_FACTORIES``), not a hardcoded grid, so a newly registered
+    scheduler is picked up automatically -- and the oracle fails loudly if
+    a registry key ever lacks a lane path (closed-form or scripted),
+    because ``run_grid(lanes=...)`` no longer falls back sequentially.
+    Every registry scheduler runs over two workload draws and two pool
+    capacities, once through the per-cell sequential simulator and once
+    through ``run_grid(lanes=8)``, comparing summaries with ``==`` (bit
+    equality, not tolerance) -- the lane kernel's whole contract, the
+    proactive pre-warm / lending telemetry blocks included.
     """
-    from repro.cluster.lanes import LANE_SCHEDULERS
+    from repro.cluster.lanes import lane_supported_scheduler
+    from repro.experiments.parallel import SCHEDULER_FACTORIES
 
     name = "lanes_vs_sequential"
+    unsupported = sorted(
+        key for key in SCHEDULER_FACTORIES
+        if not lane_supported_scheduler(key)
+    )
+    if unsupported:
+        return OracleResult(
+            name, False,
+            f"registry keys without a lane path: {unsupported}",
+        )
     tasks = [
         GridTask(scheduler=key, workload=workload, seed=seed,
                  pool_label="Fixed", capacity_mb=capacity)
-        for key in LANE_SCHEDULERS
+        for key in SCHEDULER_FACTORIES
         for workload, seed in (("LO-Sim", 0), ("HI-Var", 1))
         for capacity in (800.0, 4000.0)
     ]
@@ -617,7 +684,9 @@ def oracle_lanes_vs_sequential() -> OracleResult:
                 f"summaries differ at {diff}",
             )
     return OracleResult(
-        name, True, f"{len(tasks)} cells byte-identical at 8 lanes"
+        name, True,
+        f"{len(tasks)} cells ({len(SCHEDULER_FACTORIES)} registry "
+        f"schedulers) byte-identical at 8 lanes",
     )
 
 
